@@ -1,0 +1,11 @@
+// Figure 10 analog: average execution time of the six mining plans on the
+// mushroom-like dataset (primary support 5%), varying focal subset size
+// and minsupport (70/75/80%) at minconf 85%. Paper shape: same ordering as
+// chess, with SS-E-U-V lowest among the index plans.
+#include "harness.h"
+
+int main() {
+  colarm::bench::RunPlanFigure(colarm::bench::MakeMushroom(),
+                               "Figure 10 analog");
+  return 0;
+}

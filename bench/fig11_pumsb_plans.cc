@@ -1,0 +1,12 @@
+// Figure 11 analog: average execution time of the six mining plans on the
+// pumsb-like dataset (primary support 80%), varying focal subset size and
+// minsupport (85/88/91%) at minconf 85%. Paper shape: index plans win
+// clearly at small DQ; at 50%/20% DQ there is no clear winner and ARM can
+// edge out the index plans.
+#include "harness.h"
+
+int main() {
+  colarm::bench::RunPlanFigure(colarm::bench::MakePumsb(),
+                               "Figure 11 analog");
+  return 0;
+}

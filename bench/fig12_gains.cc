@@ -1,0 +1,72 @@
+// Figure 12 analog: % execution-time gain of each optimized plan over the
+// basic S-E-V plan, per dataset and overall, aggregated across the
+// Figure 9-11 scenario grid. Paper shape: selection push-up (S-VS) gains
+// are minor; plans using the supported R-tree filter (SS-*) gain 8-44%,
+// with SS-E-U-V the strongest.
+#include <cstdio>
+
+#include "harness.h"
+
+namespace colarm {
+namespace bench {
+namespace {
+
+struct GainAccumulator {
+  double sev_ms = 0.0;
+  double plan_ms[6] = {0, 0, 0, 0, 0, 0};
+
+  void Add(const ScenarioResult& r) {
+    sev_ms += r.avg_ms[static_cast<size_t>(PlanKind::kSEV)];
+    for (size_t i = 0; i < 6; ++i) plan_ms[i] += r.avg_ms[i];
+  }
+
+  double GainPercent(PlanKind kind) const {
+    if (sev_ms <= 0.0) return 0.0;
+    return (sev_ms - plan_ms[static_cast<size_t>(kind)]) / sev_ms * 100.0;
+  }
+};
+
+constexpr PlanKind kOptimizedPlans[] = {PlanKind::kSVS, PlanKind::kSSEV,
+                                        PlanKind::kSSVS, PlanKind::kSSEUV};
+
+void Run() {
+  std::printf(
+      "Figure 12 analog: %% gain over the basic S-E-V plan (aggregated over "
+      "DQ x minsupp grid)\n\n");
+  std::printf("  %-14s %10s %10s %10s %10s\n", "dataset", "S-VS", "SS-E-V",
+              "SS-VS", "SS-E-U-V");
+
+  GainAccumulator overall;
+  BenchDataset datasets[] = {MakeChess(), MakeMushroom(), MakePumsb()};
+  for (const BenchDataset& dataset : datasets) {
+    auto engine = BuildEngine(dataset);
+    GainAccumulator acc;
+    for (double dq : kDqFractions) {
+      for (double minsupp : dataset.minsupps) {
+        ScenarioResult r = RunScenario(*engine, dq, minsupp, dataset.minconf,
+                                       /*placements=*/1);
+        acc.Add(r);
+        overall.Add(r);
+      }
+    }
+    std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                dataset.name.c_str(), acc.GainPercent(kOptimizedPlans[0]),
+                acc.GainPercent(kOptimizedPlans[1]),
+                acc.GainPercent(kOptimizedPlans[2]),
+                acc.GainPercent(kOptimizedPlans[3]));
+  }
+  std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", "overall",
+              overall.GainPercent(kOptimizedPlans[0]),
+              overall.GainPercent(kOptimizedPlans[1]),
+              overall.GainPercent(kOptimizedPlans[2]),
+              overall.GainPercent(kOptimizedPlans[3]));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace colarm
+
+int main() {
+  colarm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 9 analog: average execution time of the six mining plans on the
+// chess-like dataset, varying focal subset size (50/20/10/1% of |D|) and
+// minsupport (80/85/90%) at minconf 85%. Paper shape: MIP-index plans beat
+// ARM throughout; SS-E-U-V is the best plan; costs fall as DQ shrinks.
+#include "harness.h"
+
+int main() {
+  colarm::bench::RunPlanFigure(colarm::bench::MakeChess(), "Figure 9 analog");
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include <optional>
+
+#include "common/string_util.h"
+#include "data/histogram.h"
+
+namespace colarm {
+namespace bench {
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("COLARM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = 1.0;
+  if (!ParseDouble(env, &scale) || scale <= 0.0) return 1.0;
+  return scale;
+}
+
+namespace {
+
+BenchDataset Make(const SyntheticConfig& config, double primary,
+                  std::vector<double> minsupps) {
+  BenchDataset dataset;
+  dataset.name = config.name;
+  auto generated = GenerateSynthetic(config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", config.name.c_str(),
+                 generated.status().ToString().c_str());
+    std::abort();
+  }
+  dataset.data = std::make_unique<Dataset>(std::move(generated.value()));
+  dataset.primary_support = primary;
+  dataset.minsupps = std::move(minsupps);
+  dataset.minconf = 0.85;
+  return dataset;
+}
+
+}  // namespace
+
+BenchDataset MakeChess() {
+  // Paper: chess at primary support 60%, minsupp in {80, 85, 90}%.
+  return Make(ChessLikeConfig(1.0 * ScaleFromEnv()), 0.60, {0.80, 0.85, 0.90});
+}
+
+BenchDataset MakeMushroom() {
+  // Paper: mushroom at primary support 5%, minsupp in {70, 75, 80}%.
+  return Make(MushroomLikeConfig(0.5 * ScaleFromEnv()), 0.05,
+              {0.70, 0.75, 0.80});
+}
+
+BenchDataset MakePumsb() {
+  // Paper: PUMSB at primary support 80%, minsupp in {85, 88, 91}%.
+  return Make(PumsbLikeConfig(0.25 * ScaleFromEnv()), 0.80,
+              {0.85, 0.88, 0.91});
+}
+
+std::unique_ptr<Engine> BuildEngine(const BenchDataset& dataset) {
+  EngineOptions options;
+  options.index.primary_support = dataset.primary_support;
+  options.calibrate = true;
+  auto engine = Engine::Build(*dataset.data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(engine.value());
+}
+
+std::vector<LocalizedQuery> MakeQueries(const Dataset& data,
+                                        double dq_fraction, double minsupp,
+                                        double minconf, int placements) {
+  const Schema& schema = data.schema();
+
+  // Queries mix a predicate on the first *leaning* attribute (range and
+  // item attributes share one pool, so this lets the R-tree filter prune
+  // MIPs fixing the other value) with a region interval for fine-grained
+  // size control. Datasets without a leaning attribute fall back to a pure
+  // region interval.
+  AttrId leaning_attr = 0;
+  for (AttrId a = 1; a < schema.num_attributes(); ++a) {
+    if (schema.attribute(a).name.rfind("lean", 0) == 0) {
+      leaning_attr = a;
+      break;
+    }
+  }
+
+  double region_fraction = dq_fraction;
+  std::optional<RangeSelection> leaning_range;
+  if (leaning_attr != 0) {
+    ValueHistogram hist(data, leaning_attr);
+    double sel_v1 = hist.Selectivity(1, 1);
+    double sel_v0 = hist.Selectivity(0, 0);
+    if (dq_fraction <= sel_v1 && sel_v1 > 0) {
+      leaning_range = RangeSelection{leaning_attr, 1, 1};
+      region_fraction = dq_fraction / sel_v1;
+    } else if (dq_fraction <= sel_v0 && sel_v0 > 0) {
+      leaning_range = RangeSelection{leaning_attr, 0, 0};
+      region_fraction = dq_fraction / sel_v0;
+    }
+  }
+
+  const uint32_t domain = schema.attribute(0).domain_size();
+  const auto width = std::min<uint32_t>(
+      domain, std::max<uint32_t>(
+                  1, static_cast<uint32_t>(region_fraction * domain + 0.5)));
+  std::vector<LocalizedQuery> queries;
+  for (int p = 0; p < placements; ++p) {
+    // Deterministic offsets spread across the region domain.
+    uint32_t max_lo = domain - width;
+    uint32_t lo = placements <= 1 ? 0 : (max_lo * p) / (placements - 1);
+    LocalizedQuery query;
+    query.ranges = {{0, static_cast<ValueId>(lo),
+                     static_cast<ValueId>(lo + width - 1)}};
+    if (leaning_range.has_value()) query.ranges.push_back(*leaning_range);
+    query.minsupp = minsupp;
+    query.minconf = minconf;
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+ScenarioResult RunScenario(const Engine& engine, double dq_fraction,
+                           double minsupp, double minconf, int placements) {
+  ScenarioResult result;
+  auto queries = MakeQueries(engine.index().dataset(), dq_fraction, minsupp,
+                             minconf, placements);
+
+  // Majority vote over placements for the optimizer's pick.
+  int votes[6] = {0, 0, 0, 0, 0, 0};
+  for (const LocalizedQuery& query : queries) {
+    auto decision = engine.Explain(query);
+    if (decision.ok()) {
+      ++votes[static_cast<size_t>(decision->chosen)];
+    }
+    for (PlanKind kind : kAllPlans) {
+      auto run = engine.ExecuteWithPlan(query, kind);
+      if (!run.ok()) {
+        std::fprintf(stderr, "plan %s failed: %s\n", PlanKindName(kind),
+                     run.status().ToString().c_str());
+        std::abort();
+      }
+      result.avg_ms[static_cast<size_t>(kind)] += run->stats.total_ms;
+      if (kind == PlanKind::kSEV) result.rules = run->rules.rules.size();
+    }
+  }
+  for (double& ms : result.avg_ms) ms /= queries.size();
+
+  int best_votes = -1;
+  for (size_t i = 0; i < kAllPlans.size(); ++i) {
+    if (votes[i] > best_votes) {
+      best_votes = votes[i];
+      result.optimizer_pick = kAllPlans[i];
+    }
+  }
+  double best_ms = result.avg_ms[0];
+  result.measured_best = kAllPlans[0];
+  for (size_t i = 1; i < kAllPlans.size(); ++i) {
+    if (result.avg_ms[i] < best_ms) {
+      best_ms = result.avg_ms[i];
+      result.measured_best = kAllPlans[i];
+    }
+  }
+  result.measured_best_ms = best_ms;
+  result.optimizer_pick_ms =
+      result.avg_ms[static_cast<size_t>(result.optimizer_pick)];
+  return result;
+}
+
+std::string FractionLabel(double fraction) {
+  return StrFormat("%g%%", fraction * 100.0);
+}
+
+void RunPlanFigure(const BenchDataset& dataset, const char* figure_title) {
+  std::printf("%s — %s analog (m=%u, primary=%g%%, minconf=%g%%)\n",
+              figure_title, dataset.name.c_str(), dataset.data->num_records(),
+              dataset.primary_support * 100.0, dataset.minconf * 100.0);
+  auto engine = BuildEngine(dataset);
+  std::printf("MIP-index: %u MIPs, R-tree height %u\n\n",
+              engine->index().num_mips(), engine->index().rtree().height());
+
+  for (double dq : kDqFractions) {
+    std::printf("DQ = %s of D:\n", FractionLabel(dq).c_str());
+    std::printf("  %-8s %10s %10s %10s %10s %10s %10s   %s\n", "minsupp",
+                "S-E-V", "S-VS", "SS-E-V", "SS-VS", "SS-E-U-V", "ARM",
+                "COLARM-pick");
+    for (double minsupp : dataset.minsupps) {
+      ScenarioResult r =
+          RunScenario(*engine, dq, minsupp, dataset.minconf, /*placements=*/2);
+      std::printf(
+          "  %-8s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f   %s%s\n",
+          FractionLabel(minsupp).c_str(), r.avg_ms[0], r.avg_ms[1],
+          r.avg_ms[2], r.avg_ms[3], r.avg_ms[4], r.avg_ms[5],
+          PlanKindName(r.optimizer_pick),
+          r.optimizer_pick == r.measured_best ? " (= measured best)" : "");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace colarm

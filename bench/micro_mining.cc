@@ -1,0 +1,98 @@
+// Micro-benchmarks comparing the mining substrates (Apriori vs Eclat vs
+// FP-growth vs CHARM) on a common synthetic relation, plus tidset
+// intersection throughput — the primitive the cost model calibrates.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "mining/apriori.h"
+#include "mining/charm.h"
+#include "mining/declat.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "mining/tidset.h"
+
+namespace colarm {
+namespace {
+
+Dataset MakeData() {
+  SyntheticConfig config;
+  config.seed = 321;
+  config.num_records = 2000;
+  config.num_attributes = 10;
+  config.values_per_attribute = 4;
+  config.region_domain = 20;
+  config.dominant_prob = 0.8;
+  config.group_coherence = 0.5;
+  return GenerateSynthetic(config).value();
+}
+
+void BM_Apriori(benchmark::State& state) {
+  Dataset data = MakeData();
+  const uint32_t min_count = MinCount(state.range(0) / 100.0, 2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineApriori(data, min_count).size());
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(50)->Arg(30);
+
+void BM_Eclat(benchmark::State& state) {
+  Dataset data = MakeData();
+  const uint32_t min_count = MinCount(state.range(0) / 100.0, 2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineEclat(data, min_count).size());
+  }
+}
+BENCHMARK(BM_Eclat)->Arg(50)->Arg(30)->Arg(10);
+
+void BM_DEclat(benchmark::State& state) {
+  Dataset data = MakeData();
+  const uint32_t min_count = MinCount(state.range(0) / 100.0, 2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineDEclat(data, min_count).size());
+  }
+}
+BENCHMARK(BM_DEclat)->Arg(50)->Arg(30)->Arg(10);
+
+void BM_FpGrowth(benchmark::State& state) {
+  Dataset data = MakeData();
+  const uint32_t min_count = MinCount(state.range(0) / 100.0, 2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineFpGrowth(data, min_count).size());
+  }
+}
+BENCHMARK(BM_FpGrowth)->Arg(50)->Arg(30)->Arg(10);
+
+void BM_Charm(benchmark::State& state) {
+  Dataset data = MakeData();
+  VerticalView vertical(data);
+  const uint32_t min_count = MinCount(state.range(0) / 100.0, 2000);
+  for (auto _ : state) {
+    size_t count = 0;
+    MineCharm(vertical, min_count,
+              [&count](const Itemset&, const Tidset&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_Charm)->Arg(50)->Arg(30)->Arg(10);
+
+void BM_TidsetIntersect(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  Tidset a;
+  Tidset b;
+  for (uint32_t i = 0; i < n; ++i) {
+    a.push_back(2 * i);
+    b.push_back(3 * i);
+  }
+  Tidset out;
+  for (auto _ : state) {
+    TidsetIntersectInto(a, b, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_TidsetIntersect)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace colarm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Query console: parse and execute the paper's textual query form against
+// a CSV file (or the built-in salary dataset). Reads one query per line
+// (';'-terminated statements may span lines) from stdin.
+//
+//   $ ./query_console                      # built-in Table 1 salary data
+//   $ ./query_console people.csv           # your own relation
+//   $ echo 'REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE
+//           Location = {Seattle} AND Gender = {F}
+//           HAVING minsupport = 75% AND minconfidence = 100%;' \
+//       | ./query_console
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/query_parser.h"
+#include "data/csv_reader.h"
+#include "data/salary_dataset.h"
+
+using namespace colarm;
+
+int main(int argc, char** argv) {
+  Dataset data = MakeSalaryDataset();
+  if (argc > 1) {
+    auto loaded = ReadCsvFile(argv[1], CsvOptions{});
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(loaded.value());
+  }
+  const Schema& schema = data.schema();
+
+  EngineOptions options;
+  options.index.primary_support = argc > 1 ? 0.1 : 0.27;
+  auto engine = Engine::Build(data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("COLARM console — %u records, %u attributes, %u MIPs.\n",
+              data.num_records(), data.num_attributes(),
+              (*engine)->index().num_mips());
+  std::printf("Attributes:");
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    std::printf(" %s(%u)", schema.attribute(a).name.c_str(),
+                schema.attribute(a).domain_size());
+  }
+  std::printf("\nEnter queries terminated by ';' (EOF to quit).\n\n");
+
+  std::string buffer;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += '\n';
+    size_t semi = buffer.find(';');
+    while (semi != std::string::npos) {
+      std::string statement = buffer.substr(0, semi + 1);
+      buffer.erase(0, semi + 1);
+      auto query = ParseQuery(schema, statement);
+      if (!query.ok()) {
+        std::printf("parse error: %s\n\n", query.status().ToString().c_str());
+      } else {
+        auto result = (*engine)->Execute(*query);
+        if (!result.ok()) {
+          std::printf("execution error: %s\n\n",
+                      result.status().ToString().c_str());
+        } else {
+          std::printf("%s\n", FormatQueryResult(schema, *result).c_str());
+        }
+      }
+      semi = buffer.find(';');
+    }
+  }
+  return 0;
+}

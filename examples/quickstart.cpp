@@ -1,0 +1,63 @@
+// Quickstart: build a COLARM engine over the paper's Table 1 salary
+// relation and run the paper's running example — the localized rule for
+// female Seattle employees that is invisible in the global context.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "data/salary_dataset.h"
+
+using namespace colarm;
+
+int main() {
+  // 1. The dataset (11 records, 6 categorical attributes). Quantitative
+  //    attributes (Age, Salary) are already discretized per the paper.
+  Dataset data = MakeSalaryDataset();
+  const Schema& schema = data.schema();
+
+  // 2. Offline phase: mine closed frequent itemsets at the primary support
+  //    threshold and build the two-level MIP-index.
+  EngineOptions options;
+  options.index.primary_support = 0.27;  // 3 of 11 records
+  auto engine = Engine::Build(data, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Offline build done: %u MIPs prestored.\n\n",
+              (*engine)->index().num_mips());
+
+  // 3. Online phase: localized mining query for Seattle's female
+  //    employees (the last four records of Table 1).
+  LocalizedQuery query;
+  query.ranges = {
+      {2, 2, 2},  // Location = Seattle
+      {3, 1, 1},  // Gender = F
+  };
+  query.minsupp = 0.75;
+  query.minconf = 1.0;
+  std::printf("Query: %s\n\n", query.ToString(schema).c_str());
+
+  auto result = (*engine)->Execute(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", FormatQueryResult(schema, *result).c_str());
+
+  // 4. The same thresholds globally: the localized trend disappears.
+  LocalizedQuery global = query;
+  global.ranges.clear();
+  auto global_result = (*engine)->Execute(global);
+  std::printf("Same thresholds over the full dataset:\n%s\n",
+              FormatQueryResult(schema, *global_result).c_str());
+  std::printf(
+      "The Age=30-40 => Salary=90K-120K trend (75%% support, 100%%\n"
+      "confidence among Seattle's female employees) is hidden globally —\n"
+      "the Simpson's-paradox effect the paper is built around.\n");
+  return 0;
+}

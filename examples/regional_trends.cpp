@@ -1,0 +1,88 @@
+// Regional trends: the workload the paper's introduction motivates — an
+// analyst sweeping regions of a dataset looking for trends that hold
+// locally but not globally. Generates an employment-like relation with
+// three planted regional patterns, runs a localized query per region
+// window, and reports fresh local rules (plus which plan the optimizer
+// used for each request).
+//
+//   $ ./regional_trends
+#include <cstdio>
+#include <set>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "data/synthetic.h"
+
+using namespace colarm;
+
+int main() {
+  SyntheticConfig config;
+  config.name = "employment";
+  config.seed = 20260705;
+  config.num_records = 6000;
+  config.num_attributes = 10;
+  config.values_per_attribute = 4;
+  config.region_domain = 30;
+  config.dominant_prob = 0.88;
+  config.num_groups = 3;
+  config.group_coherence = 0.4;
+  config.noise = 0.01;
+  // Three regional economies with their own local trends.
+  config.local_patterns = {
+      {0, 5, {3, 4}, 2, 0.93},    // regions 0-5:   attrs 3,4 flip to v2
+      {12, 17, {5, 6, 7}, 3, 0.9},  // regions 12-17: attrs 5-7 flip to v3
+      {24, 29, {8, 9}, 1, 0.92},  // regions 24-29: attrs 8,9 flip to v1
+  };
+  auto data = GenerateSynthetic(config);
+  if (!data.ok()) return 1;
+  const Schema& schema = data->schema();
+
+  EngineOptions options;
+  options.index.primary_support = 0.04;  // low primary: keep local CFIs
+  auto engine = Engine::Build(*data, options);
+  if (!engine.ok()) return 1;
+  std::printf("%u records, %u prestored MIPs (primary support 4%%).\n\n",
+              data->num_records(), (*engine)->index().num_mips());
+
+  const uint32_t m = data->num_records();
+  // Slide a 6-region window across the region domain.
+  for (ValueId lo = 0; lo + 6 <= 30; lo += 6) {
+    LocalizedQuery query;
+    query.ranges = {{0, lo, static_cast<ValueId>(lo + 5)}};
+    query.minsupp = 0.8;
+    query.minconf = 0.85;
+
+    auto result = (*engine)->Execute(query);
+    if (!result.ok()) continue;
+
+    // "Strongly local" rules: the itemset's global support is not just
+    // below the threshold, it misses it by 2x — trends that genuinely
+    // belong to this window rather than diluted global structure.
+    std::set<Itemset> strong_itemsets;
+    size_t strong_rules = 0;
+    for (const Rule& rule : result->rules.rules) {
+      Itemset itemset = ItemsetUnion(rule.antecedent, rule.consequent);
+      uint32_t global = (*engine)->index().GlobalCount(itemset);
+      if (static_cast<double>(global) / m < query.minsupp / 2) {
+        strong_itemsets.insert(itemset);
+        ++strong_rules;
+      }
+    }
+    std::printf("regions r%u..r%u  (|DQ|=%u, plan=%s): %zu rules, %zu "
+                "strongly local (from %zu itemsets)\n",
+                lo, lo + 5, result->stats.subset_size,
+                PlanKindName(result->plan_used), result->rules.rules.size(),
+                strong_rules, strong_itemsets.size());
+    // Show one representative strongly-local itemset per window.
+    if (!strong_itemsets.empty()) {
+      std::printf("    e.g. %s\n",
+                  ItemsetToString(schema, *strong_itemsets.begin()).c_str());
+    }
+  }
+
+  std::printf(
+      "\nWindows overlapping the planted economies (r0-r5, r12-r17,\n"
+      "r24-r29) surface strongly local rules built from the planted\n"
+      "pattern values; the windows in between carry none.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Simpson's paradox walkthrough: mines the salary relation globally and
+// then in every (Location, Gender) slice, printing the rules whose
+// direction flips or that only exist locally — the phenomenon (Section 1.1
+// of the paper) that motivates localized association rule mining.
+//
+//   $ ./salary_paradox
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "data/salary_dataset.h"
+
+using namespace colarm;
+
+int main() {
+  Dataset data = MakeSalaryDataset();
+  const Schema& schema = data.schema();
+
+  EngineOptions options;
+  options.index.primary_support = 0.18;  // 2 of 11 records
+  auto engine = Engine::Build(data, options);
+  if (!engine.ok()) return 1;
+
+  // Global rules over Age/Salary at moderate thresholds.
+  LocalizedQuery global;
+  global.minsupp = 0.4;
+  global.minconf = 0.8;
+  auto global_result = (*engine)->Execute(global);
+  std::printf("Global rules (minsupp 40%%, minconf 80%%):\n%s\n",
+              FormatRules(schema, global_result->rules).c_str());
+
+  // Localized mining in every (Location, Gender) slice.
+  const AttrId location = 2;
+  const AttrId gender = 3;
+  for (ValueId loc = 0; loc < schema.attribute(location).domain_size();
+       ++loc) {
+    for (ValueId g = 0; g < schema.attribute(gender).domain_size(); ++g) {
+      LocalizedQuery query;
+      query.ranges = {{location, loc, loc}, {gender, g, g}};
+      query.minsupp = 0.66;
+      query.minconf = 0.99;
+      auto result = (*engine)->Execute(query);
+      if (!result.ok() || result->rules.rules.empty()) continue;
+      if (result->stats.subset_size < 2) continue;
+
+      std::printf("%s, %s employees (%u records):\n",
+                  schema.attribute(location).values[loc].c_str(),
+                  schema.attribute(gender).values[g].c_str(),
+                  result->stats.subset_size);
+      // Report only rules hidden globally: global support of the itemset
+      // below the local threshold.
+      const uint32_t m = data.num_records();
+      size_t shown = 0;
+      for (const Rule& rule : result->rules.rules) {
+        Itemset itemset = ItemsetUnion(rule.antecedent, rule.consequent);
+        uint32_t global_count = (*engine)->index().GlobalCount(itemset);
+        if (static_cast<double>(global_count) / m >= query.minsupp) continue;
+        if (++shown > 3) {
+          std::printf("    ...\n");
+          break;
+        }
+        std::printf("    fresh local: %s\n", rule.ToString(schema).c_str());
+      }
+      if (shown == 0) std::printf("    (no fresh local rules)\n");
+    }
+  }
+  std::printf(
+      "\nThe Seattle/F slice reproduces the paper's RL: a 30-40 age group\n"
+      "earning 90K-120K with 100%% confidence, invisible at the same\n"
+      "thresholds in the global rule list above.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef COLARM_COMMON_RNG_H_
+#define COLARM_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace colarm {
+
+/// Deterministic 64-bit random number generator (xoshiro256** core seeded
+/// with splitmix64). All synthetic data generation flows through this class
+/// so datasets and benchmarks reproduce bit-for-bit across runs and
+/// platforms, independent of libstdc++'s distribution implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Approximately Gaussian(0, 1) via the sum of 12 uniforms
+  /// (Irwin–Hall); adequate for workload shaping.
+  double Gaussian() {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return sum - 6.0;
+  }
+
+  /// Zipf-like rank selection over [0, n): rank r drawn with probability
+  /// proportional to 1/(r+1)^theta. Used for skewed value popularity.
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+inline uint64_t Rng::Zipf(uint64_t n, double theta) {
+  // Inverse-CDF on the harmonic-like weights; linear scan is fine for the
+  // small domains (tens of values) used by the generators.
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) total += 1.0 / std::pow(i + 1.0, theta);
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(i + 1.0, theta);
+    if (u <= acc) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace colarm
+
+#endif  // COLARM_COMMON_RNG_H_

@@ -1,0 +1,100 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+namespace colarm {
+
+std::vector<std::string> SplitString(std::string_view input, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         (input[begin] == ' ' || input[begin] == '\t' || input[begin] == '\r' ||
+          input[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         (input[end - 1] == ' ' || input[end - 1] == '\t' ||
+          input[end - 1] == '\r' || input[end - 1] == '\n')) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string ToLowerAscii(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i];
+    char cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+bool ParseDouble(std::string_view input, double* out) {
+  std::string buf(StripWhitespace(input));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(std::string_view input, uint64_t* out) {
+  std::string buf(StripWhitespace(input));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (!buf.empty() && buf[0] == '-') return false;
+  *out = value;
+  return true;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace colarm

@@ -1,0 +1,34 @@
+#ifndef COLARM_COMMON_TIMER_H_
+#define COLARM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace colarm {
+
+/// Monotonic wall-clock stopwatch used by plan executors and benchmarks.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_COMMON_TIMER_H_

@@ -1,0 +1,109 @@
+#include "core/batch.h"
+
+#include <map>
+
+#include "common/timer.h"
+
+namespace colarm {
+
+namespace {
+
+// Order-sensitive byte key of a query (duplicate detection).
+std::string QueryKey(const LocalizedQuery& query) {
+  std::string key;
+  auto push32 = [&key](uint32_t v) {
+    key.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  for (const RangeSelection& range : query.ranges) {
+    push32(range.attr);
+    push32(range.lo);
+    push32(range.hi);
+  }
+  key.push_back('|');
+  for (AttrId a : query.item_attrs) push32(a);
+  key.push_back('|');
+  key.append(reinterpret_cast<const char*>(&query.minsupp), sizeof(double));
+  key.append(reinterpret_cast<const char*>(&query.minconf), sizeof(double));
+  return key;
+}
+
+// Box key: canonical per-attribute intervals (so range order and redundant
+// full-domain selections do not defeat sharing).
+std::string BoxKey(const Rect& box) {
+  std::string key;
+  for (uint32_t d = 0; d < box.dims(); ++d) {
+    ValueId lo = box.lo(d);
+    ValueId hi = box.hi(d);
+    key.append(reinterpret_cast<const char*>(&lo), sizeof(ValueId));
+    key.append(reinterpret_cast<const char*>(&hi), sizeof(ValueId));
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<BatchResult> BatchExecutor::Execute(
+    std::span<const LocalizedQuery> queries,
+    const BatchOptions& options) const {
+  Timer timer;
+  BatchResult batch;
+  batch.results.reserve(queries.size());
+
+  const MipIndex& index = engine_->index();
+  const Schema& schema = index.dataset().schema();
+  for (const LocalizedQuery& query : queries) {
+    COLARM_RETURN_IF_ERROR(query.Validate(schema));
+  }
+
+  std::map<std::string, size_t> duplicate_of;
+  std::map<std::string, FocalSubset> subsets;
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const LocalizedQuery& query = queries[i];
+    if (options.reuse_duplicate_results) {
+      auto [it, inserted] = duplicate_of.try_emplace(QueryKey(query), i);
+      if (!inserted) {
+        batch.results.push_back(batch.results[it->second]);
+        ++batch.duplicates_reused;
+        continue;
+      }
+    }
+
+    const FocalSubset* shared = nullptr;
+    if (options.share_subsets) {
+      Rect box = query.ToRect(schema);
+      std::string key = BoxKey(box);
+      auto it = subsets.find(key);
+      if (it == subsets.end()) {
+        it = subsets
+                 .emplace(std::move(key),
+                          FocalSubset::Materialize(index.dataset(), box))
+                 .first;
+      } else {
+        ++batch.subsets_shared;
+      }
+      shared = &it->second;
+    }
+
+    OptimizerDecision decision = engine_->optimizer().Choose(query);
+    PlanKind kind =
+        options.use_optimizer ? decision.chosen : options.forced_plan;
+    Result<PlanResult> plan =
+        ExecutePlan(kind, index, query, engine_->options().rulegen, shared,
+                    engine_->options().arm_miner);
+    if (!plan.ok()) return plan.status();
+
+    QueryResult result;
+    result.rules = std::move(plan->rules);
+    result.plan_used = kind;
+    result.chosen_by_optimizer = options.use_optimizer;
+    result.stats = plan->stats;
+    result.decision = decision;
+    batch.results.push_back(std::move(result));
+  }
+
+  batch.total_ms = timer.ElapsedMillis();
+  return batch;
+}
+
+}  // namespace colarm

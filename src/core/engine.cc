@@ -1,0 +1,87 @@
+#include "core/engine.h"
+
+#include "mip/serialize.h"
+
+namespace colarm {
+
+namespace {
+
+// Loads the cached index when compatible with the requested options;
+// otherwise mines it (and refreshes the cache, best effort).
+Result<MipIndex> BuildOrLoadIndex(const Dataset& dataset,
+                                  const EngineOptions& options) {
+  if (!options.index_cache_path.empty()) {
+    Result<MipIndex> loaded = LoadMipIndex(dataset, options.index_cache_path);
+    if (loaded.ok() &&
+        loaded->options().primary_support == options.index.primary_support &&
+        loaded->options().rtree.max_entries ==
+            options.index.rtree.max_entries) {
+      return loaded;
+    }
+  }
+  Result<MipIndex> built = MipIndex::Build(dataset, options.index);
+  if (built.ok() && !options.index_cache_path.empty()) {
+    // A failed cache write must not fail the build.
+    (void)SaveMipIndex(built.value(), options.index_cache_path);
+  }
+  return built;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Engine>> Engine::Build(const Dataset& dataset,
+                                              const EngineOptions& options) {
+  Result<MipIndex> index = BuildOrLoadIndex(dataset, options);
+  if (!index.ok()) return index.status();
+
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  engine->options_ = options;
+  engine->index_ = std::make_unique<MipIndex>(std::move(index.value()));
+
+  CostConstants constants =
+      options.calibrate ? Calibrate(dataset) : options.cost_constants;
+  engine->cardinality_ = std::make_unique<CardinalityEstimator>(
+      dataset.schema(), engine->index_->histograms(), dataset.num_records());
+  engine->optimizer_ = std::make_unique<Optimizer>(
+      CostModel(engine->index_->stats(), *engine->cardinality_, constants));
+  return engine;
+}
+
+Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
+  COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
+  OptimizerDecision decision = optimizer_->Choose(query);
+  Result<PlanResult> plan =
+      ExecutePlan(decision.chosen, *index_, query, options_.rulegen,
+                  /*shared_subset=*/nullptr, options_.arm_miner);
+  if (!plan.ok()) return plan.status();
+  QueryResult result;
+  result.rules = std::move(plan->rules);
+  result.plan_used = decision.chosen;
+  result.chosen_by_optimizer = true;
+  result.stats = plan->stats;
+  result.decision = decision;
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteWithPlan(const LocalizedQuery& query,
+                                            PlanKind kind) const {
+  COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
+  Result<PlanResult> plan =
+      ExecutePlan(kind, *index_, query, options_.rulegen,
+                  /*shared_subset=*/nullptr, options_.arm_miner);
+  if (!plan.ok()) return plan.status();
+  QueryResult result;
+  result.rules = std::move(plan->rules);
+  result.plan_used = kind;
+  result.chosen_by_optimizer = false;
+  result.stats = plan->stats;
+  result.decision = optimizer_->Choose(query);
+  return result;
+}
+
+Result<OptimizerDecision> Engine::Explain(const LocalizedQuery& query) const {
+  COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
+  return optimizer_->Choose(query);
+}
+
+}  // namespace colarm

@@ -1,0 +1,84 @@
+#ifndef COLARM_CORE_ENGINE_H_
+#define COLARM_CORE_ENGINE_H_
+
+#include <memory>
+
+#include "core/optimizer.h"
+#include "mip/mip_index.h"
+#include "plans/plans.h"
+
+namespace colarm {
+
+struct EngineOptions {
+  MipIndexOptions index;
+  RuleGenOptions rulegen;
+  /// Micro-calibrate cost constants on this machine at build time; when
+  /// false, portable defaults are used (deterministic optimizer behaviour
+  /// for tests).
+  bool calibrate = true;
+  CostConstants cost_constants;
+  /// Algorithm the ARM baseline plan uses to mine the focal subset.
+  ArmMinerKind arm_miner = ArmMinerKind::kCharm;
+  /// When non-empty, Build() first tries to load the MIP-index from this
+  /// file (validating the dataset fingerprint and build options) and, on a
+  /// miss, mines it and writes the file — preprocess once across process
+  /// lifetimes.
+  std::string index_cache_path;
+};
+
+/// Outcome of one query: the localized rules plus which plan ran, why, and
+/// what it cost.
+struct QueryResult {
+  RuleSet rules;
+  PlanKind plan_used = PlanKind::kSEV;
+  bool chosen_by_optimizer = false;
+  PlanStats stats;
+  OptimizerDecision decision;
+};
+
+/// The top-level COLARM engine (Figure 2): owns the offline-built MIP-index
+/// plus statistics and the cost-based optimizer, and executes online
+/// localized rule mining queries with the optimizer-selected plan.
+///
+/// Typical use:
+///
+///   Dataset data = ...;                       // must outlive the engine
+///   EngineOptions options;
+///   options.index.primary_support = 0.6;
+///   auto engine = Engine::Build(data, options).value();
+///   LocalizedQuery query{.ranges = {{0, 2, 5}}, .minsupp = .8, .minconf = .9};
+///   QueryResult result = engine->Execute(query).value();
+class Engine {
+ public:
+  /// Runs the offline preprocessing phase (CHARM + MIP-index + statistics
+  /// + calibration). The dataset reference must outlive the engine.
+  static Result<std::unique_ptr<Engine>> Build(const Dataset& dataset,
+                                               const EngineOptions& options);
+
+  /// Executes `query` with the plan the optimizer picks.
+  Result<QueryResult> Execute(const LocalizedQuery& query) const;
+
+  /// Executes `query` with a caller-forced plan (used by benchmarks and
+  /// the plan-equivalence tests).
+  Result<QueryResult> ExecuteWithPlan(const LocalizedQuery& query,
+                                      PlanKind kind) const;
+
+  /// Cost estimates for all plans without executing anything.
+  Result<OptimizerDecision> Explain(const LocalizedQuery& query) const;
+
+  const MipIndex& index() const { return *index_; }
+  const Optimizer& optimizer() const { return *optimizer_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Engine() = default;
+
+  EngineOptions options_;
+  std::unique_ptr<MipIndex> index_;
+  std::unique_ptr<CardinalityEstimator> cardinality_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_ENGINE_H_

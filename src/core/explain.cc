@@ -1,0 +1,75 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+std::string FormatDecision(const OptimizerDecision& decision) {
+  std::string out =
+      "plan      est-total-ms   search-ms  eliminate-ms  verify-ms   mine-ms\n";
+  for (const PlanCostEstimate& est : decision.estimates) {
+    out += StrFormat("%-9s %12.4f %11.4f %13.4f %10.4f %9.4f%s\n",
+                     PlanKindName(est.plan), est.total / 1e6, est.search / 1e6,
+                     est.eliminate / 1e6, est.verify / 1e6, est.mine / 1e6,
+                     est.plan == decision.chosen ? "   <== chosen" : "");
+  }
+  return out;
+}
+
+std::string FormatPlanSummaryTable() {
+  return
+      "Mining Plan | Optimization                                        | "
+      "Query Cost\n"
+      "------------+-----------------------------------------------------+----"
+      "-----------------------------\n"
+      "S-E-V       | Basic SEARCH+ELIMINATE+VERIFY plan                  | "
+      "COST(S) + COST(E) + COST(V)\n"
+      "S-VS        | Selection push-up                                   | "
+      "COST(S) + COST(VS)\n"
+      "SS-E-V      | Supported R-tree filter                             | "
+      "COST(SS) + COST(E) + COST(V)\n"
+      "SS-VS       | Supported filter + selection push-up                | "
+      "COST(SS) + COST(VS)\n"
+      "SS-E-U-V    | Supported filter + containment/overlap distinction  | "
+      "COST(SS) + COST(E) + COST(U) + COST(V)\n"
+      "ARM         | Traditional rule mining over focal subset           | "
+      "COST(sel) + COST(ARM)\n";
+}
+
+std::string FormatRules(const Schema& schema, const RuleSet& rules,
+                        size_t limit) {
+  std::vector<const Rule*> ordered;
+  ordered.reserve(rules.rules.size());
+  for (const Rule& rule : rules.rules) ordered.push_back(&rule);
+  std::sort(ordered.begin(), ordered.end(), [](const Rule* a, const Rule* b) {
+    if (a->support() != b->support()) return a->support() > b->support();
+    return a->confidence() > b->confidence();
+  });
+  if (limit == 0) limit = ordered.size();
+  std::string out;
+  for (size_t i = 0; i < std::min(limit, ordered.size()); ++i) {
+    out += "  " + ordered[i]->ToString(schema) + "\n";
+  }
+  if (ordered.size() > limit) {
+    out += StrFormat("  ... and %zu more rules\n", ordered.size() - limit);
+  }
+  return out;
+}
+
+std::string FormatQueryResult(const Schema& schema,
+                              const QueryResult& result) {
+  std::string out = StrFormat(
+      "%zu localized rule(s) via plan %s%s in %.3f ms "
+      "(|DQ|=%u, candidates=%llu, qualified=%llu)\n",
+      result.rules.rules.size(), PlanKindName(result.plan_used),
+      result.chosen_by_optimizer ? " (optimizer)" : " (forced)",
+      result.stats.total_ms, result.stats.subset_size,
+      static_cast<unsigned long long>(result.stats.candidates_search),
+      static_cast<unsigned long long>(result.stats.candidates_qualified));
+  out += FormatRules(schema, result.rules, 10);
+  return out;
+}
+
+}  // namespace colarm

@@ -1,0 +1,28 @@
+#ifndef COLARM_CORE_EXPLAIN_H_
+#define COLARM_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/engine.h"
+
+namespace colarm {
+
+/// Multi-line table of the optimizer's per-plan estimates with the chosen
+/// plan marked (the EXPLAIN output).
+std::string FormatDecision(const OptimizerDecision& decision);
+
+/// Renders the paper's Table 4 (the plan / optimization / cost summary).
+std::string FormatPlanSummaryTable();
+
+/// Pretty-prints up to `limit` rules (0 = all), sorted by descending local
+/// support then confidence.
+std::string FormatRules(const Schema& schema, const RuleSet& rules,
+                        size_t limit = 0);
+
+/// One-paragraph execution report for a finished query (plan, timings,
+/// rule count, optimizer agreement).
+std::string FormatQueryResult(const Schema& schema, const QueryResult& result);
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_EXPLAIN_H_

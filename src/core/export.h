@@ -1,0 +1,44 @@
+#ifndef COLARM_CORE_EXPORT_H_
+#define COLARM_CORE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "data/dataset.h"
+#include "mining/rule.h"
+#include "plans/focal_subset.h"
+
+namespace colarm {
+
+struct ExportOptions {
+  /// Include the null-invariant interestingness measures (costs one
+  /// consequent-count scan of the focal subset per rule).
+  bool with_measures = false;
+};
+
+/// Writes rules as CSV with header:
+///   antecedent,consequent,support,confidence,itemset_count,
+///   antecedent_count,base_count[,lift,cosine,kulczynski,...]
+/// Item lists are ';'-joined "Attr=value" pairs; fields containing commas
+/// or quotes are RFC-4180 quoted.
+void RulesToCsv(const Dataset& dataset, const RuleSet& rules,
+                const FocalSubset& subset, const ExportOptions& options,
+                std::ostream& out);
+
+/// Writes rules as a JSON array of objects (stable key order, ASCII-safe
+/// escaping).
+void RulesToJson(const Dataset& dataset, const RuleSet& rules,
+                 const FocalSubset& subset, const ExportOptions& options,
+                 std::ostream& out);
+
+/// Convenience string-returning wrappers.
+std::string RulesToCsvString(const Dataset& dataset, const RuleSet& rules,
+                             const FocalSubset& subset,
+                             const ExportOptions& options = {});
+std::string RulesToJsonString(const Dataset& dataset, const RuleSet& rules,
+                              const FocalSubset& subset,
+                              const ExportOptions& options = {});
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_EXPORT_H_

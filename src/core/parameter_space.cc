@@ -1,0 +1,100 @@
+#include "core/parameter_space.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "mining/local_counter.h"
+#include "plans/operators.h"
+
+namespace colarm {
+
+Result<ParameterSpaceView> ParameterSpaceView::Build(
+    const MipIndex& index, const LocalizedQuery& base,
+    const ParameterSpaceOptions& options) {
+  if (options.min_support_floor <= 0.0 || options.min_support_floor > 1.0) {
+    return Status::InvalidArgument("min_support_floor must be in (0, 1]");
+  }
+  LocalizedQuery probe = base;
+  probe.minsupp = options.min_support_floor;
+  probe.minconf = 1e-9;  // materialize every confidence level
+  COLARM_RETURN_IF_ERROR(probe.Validate(index.dataset().schema()));
+
+  ParameterSpaceView view;
+  view.floor_ = options.min_support_floor;
+
+  PlanContext ctx(index, probe, options.rulegen);
+  view.subset_size_ = ctx.subset.size();
+  if (ctx.subset.size() == 0) return view;
+
+  // One S-E-V style pass at the floor: qualified itemsets, then every
+  // rule partition with its exact counts (minconf ~ 0 keeps them all).
+  CandidateSet cands = OpSupportedSearch(&ctx);
+  std::vector<uint32_t> all = cands.contained;
+  all.insert(all.end(), cands.overlapped.begin(), cands.overlapped.end());
+  std::vector<QualifiedItemset> qualified = OpEliminate(&ctx, all);
+
+  RuleSet rules;
+  RuleGenStats stats;
+  for (const QualifiedItemset& q : qualified) {
+    LocalSubsetCounter counter(index.dataset(), index.mip(q.mip_id).items,
+                               ctx.subset.tids);
+    GenerateRulesForItemset(counter, probe.minconf, options.rulegen, &rules,
+                            &stats);
+  }
+  view.rules_ = std::move(rules.rules);
+  std::sort(view.rules_.begin(), view.rules_.end(),
+            [](const Rule& a, const Rule& b) {
+              return a.itemset_count > b.itemset_count;
+            });
+  return view;
+}
+
+Result<RuleSet> ParameterSpaceView::RulesAt(double minsupp,
+                                            double minconf) const {
+  if (minsupp + 1e-12 < floor_) {
+    return Status::FailedPrecondition(StrFormat(
+        "minsupp %.3f below the view's materialization floor %.3f", minsupp,
+        floor_));
+  }
+  RuleSet out;
+  const uint32_t min_count =
+      subset_size_ == 0 ? 1 : MinCount(minsupp, subset_size_);
+  for (const Rule& rule : rules_) {
+    if (rule.itemset_count < min_count) break;  // support-sorted
+    if (rule.confidence() + 1e-12 < minconf) continue;
+    out.rules.push_back(rule);
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Result<uint32_t> ParameterSpaceView::CountAt(double minsupp,
+                                             double minconf) const {
+  if (minsupp + 1e-12 < floor_) {
+    return Status::FailedPrecondition("minsupp below materialization floor");
+  }
+  const uint32_t min_count =
+      subset_size_ == 0 ? 1 : MinCount(minsupp, subset_size_);
+  uint32_t count = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.itemset_count < min_count) break;
+    if (rule.confidence() + 1e-12 >= minconf) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<uint32_t>> ParameterSpaceView::CountGrid(
+    std::span<const double> minsupps,
+    std::span<const double> minconfs) const {
+  std::vector<std::vector<uint32_t>> grid(
+      minsupps.size(), std::vector<uint32_t>(minconfs.size(), 0));
+  for (size_t i = 0; i < minsupps.size(); ++i) {
+    for (size_t j = 0; j < minconfs.size(); ++j) {
+      Result<uint32_t> count = CountAt(minsupps[i], minconfs[j]);
+      grid[i][j] = count.ok() ? *count : UINT32_MAX;
+    }
+  }
+  return grid;
+}
+
+}  // namespace colarm

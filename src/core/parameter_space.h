@@ -1,0 +1,64 @@
+#ifndef COLARM_CORE_PARAMETER_SPACE_H_
+#define COLARM_CORE_PARAMETER_SPACE_H_
+
+#include <vector>
+
+#include "mip/mip_index.h"
+#include "mining/rule_generator.h"
+#include "plans/query.h"
+
+namespace colarm {
+
+struct ParameterSpaceOptions {
+  /// Smallest local support fraction materialized. Queries below the
+  /// floor cannot be answered from the view (RulesAt returns an error).
+  double min_support_floor = 0.1;
+  RuleGenOptions rulegen;
+};
+
+/// PARAS-style parameter-space view (Lin, Mukherji et al., PVLDB'13 — the
+/// authors' system that COLARM extends to localized mining), applied to
+/// one focal subset: every candidate rule of the subset is materialized
+/// once with its exact local (support, confidence) coordinates, after
+/// which *any* threshold combination is answered by a filter — the
+/// interactive exploration loop ("try 80/90… now 75/85…") costs one
+/// record-level pass total instead of one per threshold change.
+class ParameterSpaceView {
+ public:
+  /// Builds the view for `base`'s RANGE / ITEM ATTRIBUTES selection (the
+  /// thresholds in `base` are ignored). Cost is comparable to one S-E-V
+  /// execution at the floor threshold.
+  static Result<ParameterSpaceView> Build(
+      const MipIndex& index, const LocalizedQuery& base,
+      const ParameterSpaceOptions& options = {});
+
+  /// All rules with local support >= minsupp and confidence >= minconf.
+  /// Fails if minsupp is below the materialization floor.
+  Result<RuleSet> RulesAt(double minsupp, double minconf) const;
+
+  /// Number of rules at a threshold combination (same floor rule).
+  Result<uint32_t> CountAt(double minsupp, double minconf) const;
+
+  /// Rule-count grid over threshold axes — the "parameter space map" an
+  /// exploration UI renders. grid[i][j] = count at (minsupps[i],
+  /// minconfs[j]); thresholds below the floor yield UINT32_MAX markers.
+  std::vector<std::vector<uint32_t>> CountGrid(
+      std::span<const double> minsupps,
+      std::span<const double> minconfs) const;
+
+  uint32_t subset_size() const { return subset_size_; }
+  double floor() const { return floor_; }
+  size_t num_points() const { return rules_.size(); }
+
+ private:
+  ParameterSpaceView() = default;
+
+  // Sorted by descending support count for early-exit filtering.
+  std::vector<Rule> rules_;
+  uint32_t subset_size_ = 0;
+  double floor_ = 0.0;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_PARAMETER_SPACE_H_

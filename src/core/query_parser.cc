@@ -1,0 +1,266 @@
+#include "core/query_parser.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+namespace {
+
+enum class TokenKind { kWord, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+        continue;
+      }
+      if (c == '{' || c == '}' || c == '=' || c == ',' || c == ';') {
+        tokens.push_back({TokenKind::kSymbol, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != '"') ++pos_;
+        if (pos_ == input_.size()) {
+          return Status::ParseError("unterminated string literal");
+        }
+        tokens.push_back(
+            {TokenKind::kString, std::string(input_.substr(start, pos_ - start))});
+        ++pos_;
+        continue;
+      }
+      if (IsWordChar(c)) {
+        size_t start = pos_;
+        while (pos_ < input_.size() && IsWordChar(input_[pos_])) ++pos_;
+        tokens.push_back(
+            {TokenKind::kWord, std::string(input_.substr(start, pos_ - start))});
+        continue;
+      }
+      return Status::ParseError(
+          StrFormat("unexpected character '%c' at offset %zu", c, pos_));
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == '%' || c == '[' || c == ')' || c == ']' || c == '(' ||
+           c == '<' || c == '>';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(const Schema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<LocalizedQuery> Parse() {
+    LocalizedQuery query;
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("REPORT"));
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("LOCALIZED"));
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("ASSOCIATION"));
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("RULES"));
+    if (PeekKeyword("FROM")) {
+      Advance();
+      if (Peek().kind != TokenKind::kWord &&
+          Peek().kind != TokenKind::kString) {
+        return Status::ParseError("expected dataset name after FROM");
+      }
+      Advance();  // dataset name is informational only
+    }
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("RANGE"));
+    COLARM_RETURN_IF_ERROR(ParseRange(&query));
+    while (PeekKeyword("AND")) {
+      Advance();
+      if (PeekKeyword("ITEM")) {
+        Advance();
+        COLARM_RETURN_IF_ERROR(ExpectKeyword("ATTRIBUTES"));
+        COLARM_RETURN_IF_ERROR(ParseItemAttributes(&query));
+      } else if (PeekKeyword("HAVING")) {
+        return Status::ParseError("HAVING must not be preceded by AND");
+      } else {
+        COLARM_RETURN_IF_ERROR(ParseRange(&query));
+      }
+    }
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("HAVING"));
+    COLARM_RETURN_IF_ERROR(ParseThreshold(&query));
+    COLARM_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    COLARM_RETURN_IF_ERROR(ParseThreshold(&query));
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after query: '" +
+                                Peek().text + "'");
+    }
+    if (!saw_minsupp_ || !saw_minconf_) {
+      return Status::ParseError(
+          "HAVING must set both minsupport and minconfidence");
+    }
+    COLARM_RETURN_IF_ERROR(query.Validate(schema_));
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(std::string_view keyword) const {
+    return Peek().kind == TokenKind::kWord &&
+           EqualsIgnoreCase(Peek().text, keyword);
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::ParseError(StrFormat("expected keyword '%s', got '%s'",
+                                          std::string(keyword).c_str(),
+                                          Peek().text.c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(char symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text[0] != symbol) {
+      return Status::ParseError(StrFormat("expected '%c', got '%s'", symbol,
+                                          Peek().text.c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // <attr> = { label [, label]* }
+  Status ParseRange(LocalizedQuery* query) {
+    if (Peek().kind != TokenKind::kWord && Peek().kind != TokenKind::kString) {
+      return Status::ParseError("expected attribute name in RANGE");
+    }
+    Result<AttrId> attr = schema_.AttrIdByName(Peek().text);
+    if (!attr.ok()) return attr.status();
+    Advance();
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('='));
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('{'));
+    std::vector<ValueId> values;
+    while (true) {
+      if (Peek().kind != TokenKind::kWord &&
+          Peek().kind != TokenKind::kString) {
+        return Status::ParseError("expected value label in RANGE list");
+      }
+      Result<ValueId> value = schema_.ValueIdByLabel(*attr, Peek().text);
+      if (!value.ok()) return value.status();
+      values.push_back(*value);
+      Advance();
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('}'));
+    std::sort(values.begin(), values.end());
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i] != values[i - 1] + 1) {
+        return Status::InvalidArgument(
+            "RANGE values must form a contiguous interval of the "
+            "discretized domain (cell granularity)");
+      }
+    }
+    query->ranges.push_back({*attr, values.front(), values.back()});
+    return Status::OK();
+  }
+
+  // { attr [, attr]* }
+  Status ParseItemAttributes(LocalizedQuery* query) {
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('{'));
+    while (true) {
+      if (Peek().kind != TokenKind::kWord &&
+          Peek().kind != TokenKind::kString) {
+        return Status::ParseError("expected attribute name in ITEM ATTRIBUTES");
+      }
+      Result<AttrId> attr = schema_.AttrIdByName(Peek().text);
+      if (!attr.ok()) return attr.status();
+      query->item_attrs.push_back(*attr);
+      Advance();
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return ExpectSymbol('}');
+  }
+
+  // minsupport = <number> | minconfidence = <number>
+  Status ParseThreshold(LocalizedQuery* query) {
+    bool is_supp;
+    if (PeekKeyword("minsupport") || PeekKeyword("minsupp")) {
+      is_supp = true;
+    } else if (PeekKeyword("minconfidence") || PeekKeyword("minconf")) {
+      is_supp = false;
+    } else {
+      return Status::ParseError("expected minsupport or minconfidence, got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('='));
+    if (Peek().kind != TokenKind::kWord) {
+      return Status::ParseError("expected threshold value");
+    }
+    std::string text = Peek().text;
+    Advance();
+    bool percent = !text.empty() && text.back() == '%';
+    if (percent) text.pop_back();
+    double value = 0.0;
+    if (!ParseDouble(text, &value)) {
+      return Status::ParseError("malformed threshold '" + text + "'");
+    }
+    if (percent) value /= 100.0;
+    if (is_supp) {
+      query->minsupp = value;
+      saw_minsupp_ = true;
+    } else {
+      query->minconf = value;
+      saw_minconf_ = true;
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool saw_minsupp_ = false;
+  bool saw_minconf_ = false;
+};
+
+}  // namespace
+
+Result<LocalizedQuery> ParseQuery(const Schema& schema,
+                                  std::string_view text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(schema, std::move(tokens.value()));
+  return parser.Parse();
+}
+
+}  // namespace colarm

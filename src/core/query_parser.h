@@ -1,0 +1,27 @@
+#ifndef COLARM_CORE_QUERY_PARSER_H_
+#define COLARM_CORE_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "plans/query.h"
+
+namespace colarm {
+
+/// Parses the paper's textual query form (Section 2.2) against a schema:
+///
+///   REPORT LOCALIZED ASSOCIATION RULES
+///   [FROM <dataset-name>]
+///   WHERE RANGE Location = {Seattle} AND Gender = {F}
+///   [AND ITEM ATTRIBUTES {Age, Salary}]
+///   HAVING minsupport = 0.75 AND minconfidence = 90%;
+///
+/// Value lists must form a contiguous run of the attribute's value ids
+/// (the MIP cell-granularity assumption); thresholds accept fractions
+/// ("0.75") or percentages ("75%"). Keywords are case-insensitive; value
+/// labels are case-sensitive and may be double-quoted when they contain
+/// spaces or punctuation.
+Result<LocalizedQuery> ParseQuery(const Schema& schema, std::string_view text);
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_QUERY_PARSER_H_

@@ -1,0 +1,59 @@
+#ifndef COLARM_CORE_RECOMMENDER_H_
+#define COLARM_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "mip/mip_index.h"
+#include "plans/query.h"
+
+namespace colarm {
+
+/// One suggested localized mining request: where to look and which
+/// thresholds to use, with the evidence backing the suggestion.
+struct RegionSuggestion {
+  LocalizedQuery query;
+  uint32_t subset_size = 0;
+  /// Prestored itemsets that qualify locally at query.minsupp but whose
+  /// global support misses it — the Simpson's-paradox discoveries the
+  /// analyst is after.
+  uint32_t fresh_itemsets = 0;
+  /// fresh_itemsets / all locally qualified itemsets.
+  double freshness = 0.0;
+  /// Ranking score (fresh volume weighted by threshold strictness).
+  double score = 0.0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+struct RecommenderOptions {
+  /// Number of windows tried per attribute domain.
+  uint32_t windows_per_attribute = 8;
+  /// Attributes with smaller domains are not windowed (every value of a
+  /// small domain is better served by an exact query).
+  uint32_t min_windowable_domain = 8;
+  /// The minsupport grid evaluated per window (descending preference).
+  std::vector<double> minsupp_grid = {0.9, 0.8, 0.7, 0.6};
+  double minconf = 0.85;
+  uint32_t max_suggestions = 5;
+};
+
+/// Automatic mining of query parameters from the data — the paper's future
+/// work item (a). Slides windows over every windowable attribute's domain,
+/// counts fresh local itemsets per (window, minsupport) combination using
+/// the MIP-index (SUPPORTED-SEARCH + one record-level counting pass per
+/// window), and returns the most promising localized mining requests.
+class ParameterRecommender {
+ public:
+  explicit ParameterRecommender(const MipIndex& index) : index_(&index) {}
+
+  std::vector<RegionSuggestion> Suggest(
+      const RecommenderOptions& options = {}) const;
+
+ private:
+  const MipIndex* index_;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_RECOMMENDER_H_

@@ -1,0 +1,101 @@
+#include "cost/calibration.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/timer.h"
+#include "mining/itemset.h"
+#include "mining/tidset.h"
+#include "rtree/rect.h"
+
+namespace colarm {
+
+namespace {
+
+// Per-iteration cost in nanoseconds: after one warm-up call (cache and
+// frequency ramp), the *minimum* of several repetitions — the standard
+// robust micro-benchmark estimator, so plan selection does not wobble with
+// transient machine load.
+template <typename Op>
+double MeasureNs(uint64_t iters_per_call, uint64_t calls, Op op) {
+  uint64_t guard = op();  // warm-up
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    Timer timer;
+    for (uint64_t c = 0; c < calls; ++c) guard += op();
+    best = std::min(best, static_cast<double>(timer.ElapsedNanos()));
+  }
+  // Keep the side effect alive without printing it.
+  if (guard == UINT64_MAX) best += 1.0;
+  double denom = static_cast<double>(iters_per_call * calls);
+  return denom > 0 ? best / denom : 0.0;
+}
+
+}  // namespace
+
+CostConstants Calibrate(const Dataset& dataset) {
+  CostConstants constants;
+  const uint32_t m = dataset.num_records();
+  const uint32_t n = dataset.num_attributes();
+  if (m < 4 || n < 2) return constants;
+  const Schema& schema = dataset.schema();
+
+  // Record-level containment probes mimicking ELIMINATE's real access
+  // pattern: a multi-item itemset checked over a strided (non-contiguous)
+  // tid sample, which is what a focal subset's tid list looks like.
+  const uint32_t sample = std::min<uint32_t>(m, 4096);
+  std::vector<Tid> strided;
+  strided.reserve(sample / 2 + 1);
+  for (uint32_t i = 0; i < sample / 2; ++i) {
+    strided.push_back((i * 2 + i % 3) % m);
+  }
+  if (strided.empty()) strided.push_back(0);
+  // Early exit means a typical candidate costs ~2 item probes per record
+  // (the cost model's kAvgEliminateChecks); normalize accordingly so the
+  // constant stays "ns per item probe".
+  Itemset probe_items = {schema.ItemOf(n / 2, 0), schema.ItemOf(n - 1, 0)};
+  constants.record_item_check_ns = std::max(
+      0.2, MeasureNs(strided.size() * 2, 16, [&]() -> uint64_t {
+        uint64_t hits = 0;
+        for (Tid t : strided) {
+          hits += dataset.ContainsAll(t, probe_items) ? 1 : 0;
+        }
+        return hits;
+      }));
+  constants.select_record_ns = constants.record_item_check_ns * 1.5;
+
+  // Box-vs-box intersection tests at the schema's dimensionality.
+  Rect full = Rect::FullDomain(schema);
+  Rect half = full;
+  for (uint32_t d = 0; d < n; ++d) {
+    half.SetInterval(d, 0, static_cast<ValueId>(full.hi(d) / 2));
+  }
+  constants.rtree_box_check_ns = std::max(
+      1.0, MeasureNs(1024, 64, [&]() -> uint64_t {
+        uint64_t hits = 0;
+        for (uint32_t i = 0; i < 1024; ++i) {
+          hits += full.Intersects(half) ? 1 : 0;
+        }
+        return hits;
+      }));
+
+  // Tidset intersection throughput stands in for CHARM's per-cell work.
+  Tidset a(2048);
+  Tidset b(2048);
+  for (uint32_t i = 0; i < 2048; ++i) {
+    a[i] = 2 * i;
+    b[i] = 3 * i;
+  }
+  constants.mine_cell_ns = std::max(
+      0.3, MeasureNs(4096, 32, [&]() -> uint64_t {
+        return TidsetIntersectSize(a, b);
+      }));
+
+  // Rule checks are dominated by a subset lookup plus a division; model as
+  // a small multiple of the containment probe.
+  constants.rule_check_ns = 12.0 * constants.record_item_check_ns;
+  return constants;
+}
+
+}  // namespace colarm

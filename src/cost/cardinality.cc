@@ -1,0 +1,57 @@
+#include "cost/cardinality.h"
+
+#include <algorithm>
+
+namespace colarm {
+
+double CardinalityEstimator::SubsetFraction(const LocalizedQuery& query) const {
+  // Greedily cover constrained attributes with joint (pairwise)
+  // histograms where available — exact for the covered pair, independence
+  // across the remaining factors.
+  const auto& ranges = query.ranges;
+  std::vector<bool> used(ranges.size(), false);
+  double fraction = 1.0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (used[i]) continue;
+    bool paired = false;
+    for (size_t j = i + 1; j < ranges.size() && !paired; ++j) {
+      if (used[j]) continue;
+      const JointHistogram* joint =
+          histograms_->joint(ranges[i].attr, ranges[j].attr);
+      if (joint == nullptr) continue;
+      // RangeCount expects (attr_a, attr_b) in the histogram's order.
+      const RangeSelection& first =
+          joint->attr_a() == ranges[i].attr ? ranges[i] : ranges[j];
+      const RangeSelection& second =
+          joint->attr_a() == ranges[i].attr ? ranges[j] : ranges[i];
+      fraction *= joint->Selectivity(first.lo, first.hi, second.lo,
+                                     second.hi);
+      used[i] = used[j] = true;
+      paired = true;
+    }
+    if (!paired) {
+      fraction *= histograms_->attribute(ranges[i].attr)
+                      .Selectivity(ranges[i].lo, ranges[i].hi);
+      used[i] = true;
+    }
+  }
+  return fraction;
+}
+
+double CardinalityEstimator::SubsetSize(const LocalizedQuery& query) const {
+  double size = SubsetFraction(query) * num_records_;
+  return std::max(size, 0.0);
+}
+
+std::vector<double> CardinalityEstimator::QueryExtents(
+    const LocalizedQuery& query) const {
+  std::vector<double> extents(schema_->num_attributes(), 1.0);
+  for (const RangeSelection& range : query.ranges) {
+    uint32_t domain = schema_->attribute(range.attr).domain_size();
+    extents[range.attr] =
+        static_cast<double>(range.hi - range.lo + 1) / domain;
+  }
+  return extents;
+}
+
+}  // namespace colarm

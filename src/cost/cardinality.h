@@ -1,0 +1,37 @@
+#ifndef COLARM_COST_CARDINALITY_H_
+#define COLARM_COST_CARDINALITY_H_
+
+#include "data/histogram.h"
+#include "plans/query.h"
+
+namespace colarm {
+
+/// Estimates |DQ| and per-attribute selectivities from the offline value
+/// histograms under attribute independence — the constant-time inputs the
+/// optimizer needs without touching the records.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const Schema& schema,
+                       const DatasetHistograms& histograms,
+                       uint32_t num_records)
+      : schema_(&schema), histograms_(&histograms), num_records_(num_records) {}
+
+  /// Fraction of records expected to satisfy every range predicate.
+  double SubsetFraction(const LocalizedQuery& query) const;
+
+  /// Estimated |DQ| (>= 1 whenever any record can match).
+  double SubsetSize(const LocalizedQuery& query) const;
+
+  /// Per-attribute normalized query extents (1.0 for unconstrained
+  /// attributes) — the D^Q_avg terms of the cost formulas.
+  std::vector<double> QueryExtents(const LocalizedQuery& query) const;
+
+ private:
+  const Schema* schema_;
+  const DatasetHistograms* histograms_;
+  uint32_t num_records_;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_COST_CARDINALITY_H_

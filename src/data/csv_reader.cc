@@ -1,0 +1,149 @@
+#include "data/csv_reader.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+namespace {
+
+constexpr const char* kMissingLabel = "<missing>";
+
+struct RawTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;  // row-major cells
+};
+
+Result<RawTable> ParseCells(const std::string& contents,
+                            const CsvOptions& options) {
+  RawTable table;
+  std::istringstream in(contents);
+  std::string line;
+  bool saw_header = !options.has_header;
+  size_t expected_cols = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> cells = SplitString(stripped, options.delimiter);
+    for (std::string& cell : cells) {
+      cell = std::string(StripWhitespace(cell));
+    }
+    if (!saw_header) {
+      table.header = std::move(cells);
+      expected_cols = table.header.size();
+      saw_header = true;
+      continue;
+    }
+    if (expected_cols == 0) {
+      expected_cols = cells.size();
+      // Synthesize header names col0..colN-1 when no header row exists.
+      for (size_t i = 0; i < expected_cols; ++i) {
+        table.header.push_back(StrFormat("col%zu", i));
+      }
+    }
+    if (cells.size() != expected_cols) {
+      return Status::ParseError(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    cells.size(), expected_cols));
+    }
+    table.rows.push_back(std::move(cells));
+  }
+  if (table.rows.empty()) {
+    return Status::ParseError("CSV contains no data rows");
+  }
+  return table;
+}
+
+bool ColumnIsNumeric(const RawTable& table, size_t col) {
+  bool any_value = false;
+  for (const auto& row : table.rows) {
+    const std::string& cell = row[col];
+    if (cell.empty()) continue;
+    double unused;
+    if (!ParseDouble(cell, &unused)) return false;
+    any_value = true;
+  }
+  return any_value;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsvString(const std::string& contents,
+                              const CsvOptions& options) {
+  Result<RawTable> parsed = ParseCells(contents, options);
+  if (!parsed.ok()) return parsed.status();
+  const RawTable& table = parsed.value();
+  const size_t num_cols = table.header.size();
+  const size_t num_rows = table.rows.size();
+
+  std::vector<bool> numeric(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) numeric[c] = ColumnIsNumeric(table, c);
+
+  // Per-column encoders.
+  std::vector<Attribute> attrs(num_cols);
+  std::vector<Discretizer> discretizers;
+  std::vector<int> discretizer_of(num_cols, -1);
+  std::vector<std::map<std::string, ValueId>> cat_codes(num_cols);
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    attrs[c].name = table.header[c];
+    if (numeric[c]) {
+      std::vector<double> column;
+      column.reserve(num_rows);
+      for (const auto& row : table.rows) {
+        double v = 0.0;
+        if (!row[c].empty()) ParseDouble(row[c], &v);
+        column.push_back(v);
+      }
+      Result<Discretizer> disc =
+          Discretizer::Fit(column, options.numeric_bins, options.binning);
+      if (!disc.ok()) return disc.status();
+      attrs[c].values = disc->labels();
+      discretizer_of[c] = static_cast<int>(discretizers.size());
+      discretizers.push_back(std::move(disc.value()));
+    } else {
+      for (const auto& row : table.rows) {
+        const std::string& label = row[c].empty() ? kMissingLabel : row[c];
+        auto [it, inserted] = cat_codes[c].try_emplace(
+            label, static_cast<ValueId>(attrs[c].values.size()));
+        if (inserted) attrs[c].values.push_back(label);
+      }
+    }
+  }
+
+  Dataset dataset{Schema(std::move(attrs))};
+  std::vector<ValueId> record(num_cols);
+  for (const auto& row : table.rows) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (numeric[c]) {
+        double v = 0.0;
+        if (!row[c].empty()) ParseDouble(row[c], &v);
+        record[c] = discretizers[discretizer_of[c]].Bin(v);
+      } else {
+        const std::string& label = row[c].empty() ? kMissingLabel : row[c];
+        record[c] = cat_codes[c].at(label);
+      }
+    }
+    COLARM_RETURN_IF_ERROR(dataset.AddRecord(record));
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+}  // namespace colarm

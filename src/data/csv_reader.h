@@ -1,0 +1,34 @@
+#ifndef COLARM_DATA_CSV_READER_H_
+#define COLARM_DATA_CSV_READER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/discretizer.h"
+
+namespace colarm {
+
+/// Options controlling CSV ingestion.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Number of bins for columns inferred as numeric.
+  uint32_t numeric_bins = 5;
+  BinningScheme binning = BinningScheme::kEquiWidth;
+};
+
+/// Loads a relational CSV into a Dataset. Column types are inferred: a
+/// column whose every non-empty field parses as a double is treated as
+/// quantitative and discretized with `options.binning`; all other columns
+/// are categorical with values ordered by first appearance. Empty fields
+/// become the value "<missing>" (categorical) or the first bin (numeric).
+Result<Dataset> ReadCsvFile(const std::string& path, const CsvOptions& options);
+
+/// Same, parsing from an in-memory buffer (used by tests).
+Result<Dataset> ReadCsvString(const std::string& contents,
+                              const CsvOptions& options);
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_CSV_READER_H_

@@ -1,0 +1,37 @@
+#include "data/dataset.h"
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+Status Dataset::AddRecord(std::span<const ValueId> values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "record has %zu values, schema has %u attributes", values.size(),
+        schema_.num_attributes()));
+  }
+  for (AttrId a = 0; a < values.size(); ++a) {
+    if (values[a] >= schema_.attribute(a).domain_size()) {
+      return Status::OutOfRange(StrFormat(
+          "value %u out of domain for attribute '%s' (size %u)", values[a],
+          schema_.attribute(a).name.c_str(),
+          schema_.attribute(a).domain_size()));
+    }
+  }
+  for (AttrId a = 0; a < values.size(); ++a) {
+    columns_[a].push_back(values[a]);
+  }
+  ++num_records_;
+  return Status::OK();
+}
+
+std::vector<ItemId> Dataset::RecordItems(Tid record) const {
+  std::vector<ItemId> items;
+  items.reserve(schema_.num_attributes());
+  for (AttrId a = 0; a < schema_.num_attributes(); ++a) {
+    items.push_back(schema_.ItemOf(a, columns_[a][record]));
+  }
+  return items;  // item_base is increasing per attribute, so already sorted.
+}
+
+}  // namespace colarm

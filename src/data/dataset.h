@@ -1,0 +1,64 @@
+#ifndef COLARM_DATA_DATASET_H_
+#define COLARM_DATA_DATASET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/types.h"
+
+namespace colarm {
+
+/// Column-major relational dataset. Every record has exactly one value per
+/// attribute (the paper's relational model after discretization), so the
+/// storage is one dense ValueId column per attribute.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_attributes()) {}
+
+  const Schema& schema() const { return schema_; }
+  uint32_t num_records() const { return num_records_; }
+  uint32_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends a record given one ValueId per attribute, in schema order.
+  Status AddRecord(std::span<const ValueId> values);
+  Status AddRecord(std::initializer_list<ValueId> values) {
+    return AddRecord(std::span<const ValueId>(values.begin(), values.size()));
+  }
+
+  ValueId Value(Tid record, AttrId attr) const {
+    return columns_[attr][record];
+  }
+
+  const std::vector<ValueId>& Column(AttrId attr) const {
+    return columns_[attr];
+  }
+
+  /// True iff `record` carries item (attribute, value).
+  bool ContainsItem(Tid record, ItemId item) const {
+    AttrId a = schema_.AttrOfItem(item);
+    return columns_[a][record] == schema_.ValueOfItem(item);
+  }
+
+  /// True iff `record` carries every item of the (sorted) itemset.
+  bool ContainsAll(Tid record, std::span<const ItemId> itemset) const {
+    for (ItemId item : itemset) {
+      if (!ContainsItem(record, item)) return false;
+    }
+    return true;
+  }
+
+  /// Materializes one record as item ids (one per attribute, sorted).
+  std::vector<ItemId> RecordItems(Tid record) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<ValueId>> columns_;
+  uint32_t num_records_ = 0;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_DATASET_H_

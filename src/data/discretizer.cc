@@ -1,0 +1,78 @@
+#include "data/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+namespace {
+
+std::vector<std::string> MakeLabels(const std::vector<double>& edges) {
+  std::vector<std::string> labels;
+  labels.reserve(edges.size() - 1);
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    const char* close = (i + 2 == edges.size()) ? "]" : ")";
+    labels.push_back(
+        StrFormat("[%g,%g%s", edges[i], edges[i + 1], close));
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<Discretizer> Discretizer::Fit(const std::vector<double>& column,
+                                     uint32_t num_bins, BinningScheme scheme) {
+  if (column.empty()) {
+    return Status::InvalidArgument("cannot discretize an empty column");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("num_bins must be >= 1");
+  }
+  for (double v : column) {
+    if (std::isnan(v)) {
+      return Status::InvalidArgument("column contains NaN");
+    }
+  }
+  auto [min_it, max_it] = std::minmax_element(column.begin(), column.end());
+  double lo = *min_it;
+  double hi = *max_it;
+
+  std::vector<double> edges;
+  if (lo == hi) {
+    edges = {lo, hi + 1.0};
+  } else if (scheme == BinningScheme::kEquiWidth) {
+    edges.reserve(num_bins + 1);
+    for (uint32_t i = 0; i <= num_bins; ++i) {
+      edges.push_back(lo + (hi - lo) * static_cast<double>(i) / num_bins);
+    }
+  } else {
+    std::vector<double> sorted = column;
+    std::sort(sorted.begin(), sorted.end());
+    edges.push_back(lo);
+    for (uint32_t i = 1; i < num_bins; ++i) {
+      size_t idx = sorted.size() * i / num_bins;
+      double edge = sorted[idx];
+      if (edge > edges.back()) edges.push_back(edge);  // collapse ties
+    }
+    if (hi > edges.back()) {
+      edges.push_back(hi);
+    } else {
+      // Degenerate tail: widen the last edge so the final bin is non-empty.
+      edges.push_back(edges.back() + 1.0);
+    }
+  }
+  std::vector<std::string> labels = MakeLabels(edges);
+  return Discretizer(std::move(edges), std::move(labels));
+}
+
+ValueId Discretizer::Bin(double value) const {
+  // upper_bound over interior edges gives the bin; clamp out-of-range.
+  auto it = std::upper_bound(edges_.begin() + 1, edges_.end() - 1, value);
+  size_t bin = static_cast<size_t>(it - (edges_.begin() + 1));
+  if (bin >= labels_.size()) bin = labels_.size() - 1;
+  return static_cast<ValueId>(bin);
+}
+
+}  // namespace colarm

@@ -1,0 +1,52 @@
+#ifndef COLARM_DATA_DISCRETIZER_H_
+#define COLARM_DATA_DISCRETIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/types.h"
+
+namespace colarm {
+
+/// How numeric columns are partitioned into ordered bins. Discretization is
+/// an offline, orthogonal step in the paper (Srikant & Agrawal style); both
+/// standard schemes are provided.
+enum class BinningScheme {
+  kEquiWidth,  // bins of equal numeric width
+  kEquiDepth,  // bins holding (approximately) equal record counts
+};
+
+/// Maps a numeric column to ordered ValueIds via precomputed bin edges.
+/// Bin i covers [edge(i), edge(i+1)), with the final bin closed on the
+/// right so the column maximum lands in the last bin.
+class Discretizer {
+ public:
+  /// Computes bin edges from the data. Requires num_bins >= 1 and a
+  /// non-empty column. Equi-depth edges are taken at quantile boundaries;
+  /// duplicate edges (heavy ties) are collapsed, so the realized bin count
+  /// can be smaller than requested.
+  static Result<Discretizer> Fit(const std::vector<double>& column,
+                                 uint32_t num_bins, BinningScheme scheme);
+
+  /// Bin index for a value (values outside the fitted range clamp to the
+  /// first/last bin).
+  ValueId Bin(double value) const;
+
+  uint32_t num_bins() const { return static_cast<uint32_t>(labels_.size()); }
+
+  /// Human-readable bin labels, e.g. "[20.0,30.0)".
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  Discretizer(std::vector<double> edges, std::vector<std::string> labels)
+      : edges_(std::move(edges)), labels_(std::move(labels)) {}
+
+  std::vector<double> edges_;  // size num_bins()+1, strictly increasing
+  std::vector<std::string> labels_;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_DISCRETIZER_H_

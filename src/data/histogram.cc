@@ -1,0 +1,93 @@
+#include "data/histogram.h"
+
+#include <algorithm>
+
+namespace colarm {
+
+ValueHistogram::ValueHistogram(const Dataset& dataset, AttrId attr) {
+  counts_.assign(dataset.schema().attribute(attr).domain_size(), 0);
+  for (ValueId v : dataset.Column(attr)) {
+    ++counts_[v];
+  }
+  prefix_.resize(counts_.size() + 1, 0);
+  for (size_t v = 0; v < counts_.size(); ++v) {
+    prefix_[v + 1] = prefix_[v] + counts_[v];
+  }
+  total_ = prefix_.back();
+}
+
+uint64_t ValueHistogram::RangeCount(ValueId lo, ValueId hi) const {
+  if (counts_.empty() || lo > hi) return 0;
+  size_t hi_clamped = std::min<size_t>(hi, counts_.size() - 1);
+  return prefix_[hi_clamped + 1] - prefix_[lo];
+}
+
+double ValueHistogram::Selectivity(ValueId lo, ValueId hi) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(RangeCount(lo, hi)) / static_cast<double>(total_);
+}
+
+JointHistogram::JointHistogram(const Dataset& dataset, AttrId a, AttrId b)
+    : attr_a_(a),
+      attr_b_(b),
+      domain_b_(dataset.schema().attribute(b).domain_size()) {
+  const uint32_t domain_a = dataset.schema().attribute(a).domain_size();
+  counts_.assign(static_cast<size_t>(domain_a) * domain_b_, 0);
+  const std::vector<ValueId>& col_a = dataset.Column(a);
+  const std::vector<ValueId>& col_b = dataset.Column(b);
+  for (Tid t = 0; t < dataset.num_records(); ++t) {
+    ++counts_[static_cast<size_t>(col_a[t]) * domain_b_ + col_b[t]];
+  }
+  total_ = dataset.num_records();
+}
+
+uint64_t JointHistogram::RangeCount(ValueId alo, ValueId ahi, ValueId blo,
+                                    ValueId bhi) const {
+  if (alo > ahi || blo > bhi || domain_b_ == 0) return 0;
+  const size_t domain_a = counts_.size() / domain_b_;
+  const size_t a_end = std::min<size_t>(ahi, domain_a - 1);
+  const size_t b_end = std::min<size_t>(bhi, domain_b_ - 1);
+  uint64_t count = 0;
+  for (size_t va = alo; va <= a_end; ++va) {
+    for (size_t vb = blo; vb <= b_end; ++vb) {
+      count += counts_[va * domain_b_ + vb];
+    }
+  }
+  return count;
+}
+
+double JointHistogram::Selectivity(ValueId alo, ValueId ahi, ValueId blo,
+                                   ValueId bhi) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(RangeCount(alo, ahi, blo, bhi)) /
+         static_cast<double>(total_);
+}
+
+DatasetHistograms::DatasetHistograms(const Dataset& dataset,
+                                     const HistogramOptions& options) {
+  per_attr_.reserve(dataset.num_attributes());
+  for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+    per_attr_.emplace_back(dataset, a);
+  }
+  if (options.max_joint_cells == 0) return;
+  const Schema& schema = dataset.schema();
+  for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+    for (AttrId b = a + 1; b < dataset.num_attributes(); ++b) {
+      uint64_t cells = static_cast<uint64_t>(schema.attribute(a).domain_size()) *
+                       schema.attribute(b).domain_size();
+      if (cells <= options.max_joint_cells) {
+        joint_.emplace_back(dataset, a, b);
+      }
+    }
+  }
+}
+
+const JointHistogram* DatasetHistograms::joint(AttrId a, AttrId b) const {
+  if (a > b) std::swap(a, b);
+  for (const JointHistogram& jh : joint_) {
+    if (jh.attr_a() == a && jh.attr_b() == b) return &jh;
+  }
+  return nullptr;
+}
+
+}  // namespace colarm

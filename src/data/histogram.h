@@ -1,0 +1,96 @@
+#ifndef COLARM_DATA_HISTOGRAM_H_
+#define COLARM_DATA_HISTOGRAM_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/types.h"
+
+namespace colarm {
+
+/// Exact per-value frequency histogram for one attribute. Because domains
+/// are small categorical sets, we keep exact counts rather than bucketed
+/// approximations; interval selectivity lookups are O(1) via prefix sums.
+class ValueHistogram {
+ public:
+  ValueHistogram() = default;
+  ValueHistogram(const Dataset& dataset, AttrId attr);
+
+  uint32_t domain_size() const {
+    return static_cast<uint32_t>(counts_.size());
+  }
+  uint64_t total() const { return total_; }
+  uint64_t count(ValueId v) const { return counts_[v]; }
+
+  /// Number of records with value in [lo, hi] (inclusive).
+  uint64_t RangeCount(ValueId lo, ValueId hi) const;
+
+  /// Fraction of records with value in [lo, hi]; 0 if the relation is empty.
+  double Selectivity(ValueId lo, ValueId hi) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> prefix_;  // prefix_[v] = sum of counts_[0..v-1]
+  uint64_t total_ = 0;
+};
+
+/// Exact joint frequency histogram for one attribute *pair* — the
+/// correlation-aware refinement of the independence assumption. Kept only
+/// for pairs whose domain product is small (configurable budget), which is
+/// exactly where correlation errors hurt most.
+class JointHistogram {
+ public:
+  JointHistogram() = default;
+  JointHistogram(const Dataset& dataset, AttrId a, AttrId b);
+
+  AttrId attr_a() const { return attr_a_; }
+  AttrId attr_b() const { return attr_b_; }
+
+  /// Records with value(a) in [alo, ahi] and value(b) in [blo, bhi].
+  uint64_t RangeCount(ValueId alo, ValueId ahi, ValueId blo,
+                      ValueId bhi) const;
+  double Selectivity(ValueId alo, ValueId ahi, ValueId blo,
+                     ValueId bhi) const;
+
+ private:
+  AttrId attr_a_ = 0;
+  AttrId attr_b_ = 0;
+  uint32_t domain_b_ = 0;
+  std::vector<uint64_t> counts_;  // row-major [value_a][value_b]
+  uint64_t total_ = 0;
+};
+
+struct HistogramOptions {
+  /// Build a JointHistogram for every attribute pair whose domain product
+  /// is at most this bound (0 disables joint histograms entirely).
+  uint32_t max_joint_cells = 256;
+};
+
+/// Histograms for every attribute of a dataset, plus joint histograms for
+/// small-domain attribute pairs. The cardinality estimator prefers joint
+/// statistics where available and falls back to independence.
+class DatasetHistograms {
+ public:
+  DatasetHistograms() = default;
+  explicit DatasetHistograms(const Dataset& dataset,
+                             const HistogramOptions& options = {});
+
+  const ValueHistogram& attribute(AttrId a) const { return per_attr_[a]; }
+  uint32_t num_attributes() const {
+    return static_cast<uint32_t>(per_attr_.size());
+  }
+
+  /// Joint histogram for the (unordered) pair {a, b}, or nullptr when the
+  /// pair exceeded the build budget.
+  const JointHistogram* joint(AttrId a, AttrId b) const;
+  size_t num_joint() const { return joint_.size(); }
+
+ private:
+  std::vector<ValueHistogram> per_attr_;
+  // Sorted by (min attr, max attr) for binary search.
+  std::vector<JointHistogram> joint_;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_HISTOGRAM_H_

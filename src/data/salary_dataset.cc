@@ -1,0 +1,39 @@
+#include "data/salary_dataset.h"
+
+#include <cstdlib>
+
+namespace colarm {
+
+Dataset MakeSalaryDataset() {
+  std::vector<Attribute> attrs = {
+      {"Company", {"IBM", "Google", "Microsoft", "Facebook"}},
+      {"Title",
+       {"QA Lead", "Sw Engg", "Engg Mgr", "Tech Arch", "QA Mgr", "QA Engg"}},
+      {"Location", {"Boston", "SFO", "Seattle"}},
+      {"Gender", {"M", "F"}},
+      {"Age", {"20-30", "30-40", "40-50"}},
+      {"Salary", {"30K-60K", "60K-90K", "90K-120K", "120K-150K"}},
+  };
+  Dataset dataset{Schema(std::move(attrs))};
+  // Rows exactly as printed in Table 1 of the paper.
+  const ValueId rows[][6] = {
+      {0, 0, 0, 0, 1, 1},  // IBM, QA Lead, Boston, M, 30-40, 60K-90K
+      {0, 1, 0, 1, 0, 2},  // IBM, Sw Engg, Boston, F, 20-30, 90K-120K
+      {0, 2, 1, 0, 0, 2},  // IBM, Engg Mgr, SFO, M, 20-30, 90K-120K
+      {1, 1, 1, 1, 0, 2},  // Google, Sw Engg, SFO, F, 20-30, 90K-120K
+      {1, 1, 0, 1, 0, 2},  // Google, Sw Engg, Boston, F, 20-30, 90K-120K
+      {1, 1, 0, 0, 0, 2},  // Google, Sw Engg, Boston, M, 20-30, 90K-120K
+      {1, 3, 0, 0, 2, 3},  // Google, Tech Arch, Boston, M, 40-50, 120K-150K
+      {2, 2, 2, 1, 1, 2},  // Microsoft, Engg Mgr, Seattle, F, 30-40, 90K-120K
+      {2, 1, 2, 1, 1, 2},  // Microsoft, Sw Engg, Seattle, F, 30-40, 90K-120K
+      {3, 4, 2, 1, 1, 2},  // Facebook, QA Mgr, Seattle, F, 30-40, 90K-120K
+      {3, 5, 2, 1, 0, 0},  // Facebook, QA Engg, Seattle, F, 20-30, 30K-60K
+  };
+  for (const auto& row : rows) {
+    Status st = dataset.AddRecord(std::span<const ValueId>(row, 6));
+    if (!st.ok()) std::abort();  // table is a compile-time constant
+  }
+  return dataset;
+}
+
+}  // namespace colarm

@@ -1,0 +1,18 @@
+#ifndef COLARM_DATA_SALARY_DATASET_H_
+#define COLARM_DATA_SALARY_DATASET_H_
+
+#include "data/dataset.h"
+
+namespace colarm {
+
+/// The 11-record IT-salary example relation from Table 1 of the paper
+/// (attributes Company, Title, Location, Gender, Age, Salary). It exhibits
+/// the paper's running Simpson's-paradox example: globally Age=20-30 =>
+/// Salary=90K-120K (45% support, 83% confidence), while for the female
+/// Seattle subset the localized rule Age=30-40 => Salary=90K-120K holds
+/// with 75% support and 100% confidence.
+Dataset MakeSalaryDataset();
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_SALARY_DATASET_H_

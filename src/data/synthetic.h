@@ -1,0 +1,89 @@
+#ifndef COLARM_DATA_SYNTHETIC_H_
+#define COLARM_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace colarm {
+
+/// A planted localized pattern: records whose region value (attribute 0)
+/// falls in [region_lo, region_hi] use `pattern_value` on each attribute in
+/// `attrs` with probability `strength`. Because `pattern_value` is chosen
+/// away from the global dominant value, the pattern is locally frequent but
+/// globally rare — the Simpson's-paradox structure the paper studies.
+struct LocalPattern {
+  ValueId region_lo = 0;
+  ValueId region_hi = 0;
+  std::vector<AttrId> attrs;
+  ValueId pattern_value = 1;
+  double strength = 0.9;
+};
+
+/// Configuration for the deterministic relational generator that stands in
+/// for the UCI chess / mushroom / PUMSB benchmark files (see DESIGN.md §4).
+///
+/// Attribute 0 is the "region" attribute: uniformly distributed over
+/// `region_domain` values, so a focal subset covering k% of the region
+/// domain selects ~k% of the records. Attributes 1..n-1 are skewed
+/// categorical columns with a per-mode dominant value, organized into
+/// correlated groups (which creates non-trivial closed-itemset structure).
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  uint64_t seed = 42;
+  uint32_t num_records = 2000;
+  uint32_t num_attributes = 12;  // including the region attribute
+  uint32_t values_per_attribute = 4;
+  uint32_t region_domain = 20;
+
+  /// Global record modes. One mode gives chess/PUMSB-style unimodal CFI
+  /// length distributions; two modes give mushroom-style bi-modal ones.
+  uint32_t num_modes = 1;
+  /// Probability that an attribute keeps the same dominant value in every
+  /// mode (shared attributes glue the modes together).
+  double mode_share_prob = 0.5;
+
+  /// Attributes 1..num_leaning are "leaning" attributes: two values with
+  /// P(v0) = leaning_prob, P(v1) = 1 - leaning_prob, sampled independently.
+  /// They mimic the near-balanced features of chess/PUMSB: both values can
+  /// be frequent, so prestored itemsets fix them to concrete values and
+  /// range predicates over them let the R-tree filter prune candidates
+  /// (range and item attributes share one pool, Section 1.2 of the paper).
+  uint32_t num_leaning = 0;
+  double leaning_prob = 0.6;
+
+  /// Probability a cell takes its (mode-specific) dominant value.
+  double dominant_prob = 0.85;
+
+  /// Correlated attribute groups among attributes 1..n-1.
+  uint32_t num_groups = 3;
+  /// Probability a cell copies its group's per-record state instead of
+  /// sampling independently; high coherence collapses many itemsets into
+  /// few closed ones.
+  double group_coherence = 0.5;
+
+  /// Probability a cell is resampled uniformly at random at the end.
+  double noise = 0.02;
+
+  std::vector<LocalPattern> local_patterns;
+};
+
+/// Generates the dataset described by `config`. Deterministic in
+/// `config.seed`. Returns InvalidArgument for inconsistent configs (e.g.
+/// pattern attribute out of range).
+Result<Dataset> GenerateSynthetic(const SyntheticConfig& config);
+
+/// Presets mirroring the paper's three evaluation datasets. `scale`
+/// multiplies the record count (1.0 = the UCI cardinalities: 3196 / 8124 /
+/// 49046); attribute structure is tuned so closed-itemset counts span the
+/// same orders of magnitude as the paper's Figure 8 when sweeping the
+/// primary support thresholds the paper uses.
+SyntheticConfig ChessLikeConfig(double scale = 1.0);
+SyntheticConfig MushroomLikeConfig(double scale = 1.0);
+SyntheticConfig PumsbLikeConfig(double scale = 1.0);
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_SYNTHETIC_H_

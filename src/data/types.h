@@ -1,0 +1,25 @@
+#ifndef COLARM_DATA_TYPES_H_
+#define COLARM_DATA_TYPES_H_
+
+#include <cstdint>
+
+namespace colarm {
+
+/// Index of an attribute (column) in a relation.
+using AttrId = uint32_t;
+
+/// Index of a discretized value within one attribute's domain.
+using ValueId = uint16_t;
+
+/// Global identifier of an item (one (attribute, value) pair). Item ids are
+/// dense: items of attribute a occupy [item_base(a), item_base(a+1)).
+using ItemId = uint32_t;
+
+/// Record (tuple) identifier, dense in [0, num_records).
+using Tid = uint32_t;
+
+inline constexpr ItemId kInvalidItem = UINT32_MAX;
+
+}  // namespace colarm
+
+#endif  // COLARM_DATA_TYPES_H_

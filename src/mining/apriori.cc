@@ -1,0 +1,123 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+
+namespace colarm {
+
+namespace {
+
+// Generates level-(k+1) candidates from sorted level-k frequent itemsets by
+// joining itemsets sharing a (k-1)-prefix, then pruning candidates with an
+// infrequent k-subset.
+std::vector<Itemset> GenerateCandidates(
+    const std::vector<FrequentItemset>& level) {
+  std::vector<Itemset> candidates;
+  const size_t k = level.empty() ? 0 : level[0].items.size();
+
+  // Frequent-set membership for the prune step.
+  std::map<Itemset, bool> frequent;
+  for (const FrequentItemset& f : level) frequent.emplace(f.items, true);
+
+  for (size_t i = 0; i < level.size(); ++i) {
+    for (size_t j = i + 1; j < level.size(); ++j) {
+      const Itemset& a = level[i].items;
+      const Itemset& b = level[j].items;
+      if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+        // Level itemsets are sorted, so once prefixes diverge no later j
+        // can share i's prefix.
+        break;
+      }
+      Itemset candidate = a;
+      candidate.push_back(b.back());
+      // Prune: every k-subset must be frequent. Dropping position p yields
+      // a k-subset; positions k-1 and k are the join parents.
+      bool all_frequent = true;
+      for (size_t drop = 0; drop + 2 < candidate.size() && all_frequent;
+           ++drop) {
+        Itemset sub;
+        sub.reserve(k);
+        for (size_t p = 0; p < candidate.size(); ++p) {
+          if (p != drop) sub.push_back(candidate[p]);
+        }
+        all_frequent = frequent.contains(sub);
+      }
+      if (all_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineApriori(const Dataset& dataset,
+                                         uint32_t min_count) {
+  std::vector<FrequentItemset> result;
+  const Schema& schema = dataset.schema();
+
+  // Level 1: count singletons by a single relation scan.
+  std::vector<uint32_t> singleton_counts(schema.num_items(), 0);
+  for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+    const ItemId base = schema.item_base(a);
+    for (ValueId v : dataset.Column(a)) ++singleton_counts[base + v];
+  }
+  std::vector<FrequentItemset> level;
+  std::vector<bool> item_frequent(schema.num_items(), false);
+  for (ItemId i = 0; i < schema.num_items(); ++i) {
+    if (singleton_counts[i] >= min_count) {
+      level.push_back({{i}, singleton_counts[i]});
+      item_frequent[i] = true;
+    }
+  }
+
+  std::vector<ItemId> record_items;
+  while (!level.empty()) {
+    result.insert(result.end(), level.begin(), level.end());
+    std::vector<Itemset> candidates = GenerateCandidates(level);
+    if (candidates.empty()) break;
+    const size_t k = candidates[0].size();
+
+    std::map<Itemset, uint32_t> counts;
+    for (const Itemset& c : candidates) counts.emplace(c, 0);
+
+    // Horizontal counting: enumerate each record's k-subsets over its
+    // frequent items and bump matching candidates.
+    for (Tid t = 0; t < dataset.num_records(); ++t) {
+      record_items.clear();
+      for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+        ItemId item = schema.ItemOf(a, dataset.Value(t, a));
+        if (item_frequent[item]) record_items.push_back(item);
+      }
+      if (record_items.size() < k) continue;
+      // Iterative k-combination enumeration over record_items.
+      std::vector<size_t> idx(k);
+      for (size_t i = 0; i < k; ++i) idx[i] = i;
+      Itemset probe(k);
+      while (true) {
+        for (size_t i = 0; i < k; ++i) probe[i] = record_items[idx[i]];
+        auto it = counts.find(probe);
+        if (it != counts.end()) ++it->second;
+        // Advance combination: find rightmost index not yet at its cap.
+        size_t pos = k;
+        while (pos > 0 &&
+               idx[pos - 1] == record_items.size() - k + (pos - 1)) {
+          --pos;
+        }
+        if (pos == 0) break;  // all k-combinations enumerated
+        --pos;
+        ++idx[pos];
+        for (size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+      }
+    }
+
+    level.clear();
+    for (const auto& [items, count] : counts) {
+      if (count >= min_count) level.push_back({items, count});
+    }
+    // std::map iteration already yields sorted itemsets for the next join.
+  }
+  SortItemsets(&result);
+  return result;
+}
+
+}  // namespace colarm

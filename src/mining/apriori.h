@@ -1,0 +1,21 @@
+#ifndef COLARM_MINING_APRIORI_H_
+#define COLARM_MINING_APRIORI_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+
+namespace colarm {
+
+/// Classic level-wise Apriori (Agrawal & Srikant, VLDB'94) over the
+/// relational dataset: candidate generation by prefix join + downward-
+/// closure pruning, horizontal support counting. Returns every itemset with
+/// absolute support >= min_count. Intended as a well-understood baseline
+/// and cross-check for the vertical miners; Eclat/FP-growth are faster.
+std::vector<FrequentItemset> MineApriori(const Dataset& dataset,
+                                         uint32_t min_count);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_APRIORI_H_

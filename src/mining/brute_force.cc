@@ -1,0 +1,70 @@
+#include "mining/brute_force.h"
+
+namespace colarm {
+
+namespace {
+
+void Enumerate(const Dataset& dataset, uint32_t min_count, ItemId next_item,
+               Itemset* current, Tidset* tids,
+               std::vector<FrequentItemset>* out) {
+  const Schema& schema = dataset.schema();
+  for (ItemId item = next_item; item < schema.num_items(); ++item) {
+    Tidset extended;
+    for (Tid t : *tids) {
+      if (dataset.ContainsItem(t, item)) extended.push_back(t);
+    }
+    if (extended.size() < min_count) continue;
+    current->push_back(item);
+    out->push_back({*current, static_cast<uint32_t>(extended.size())});
+    Enumerate(dataset, min_count, item + 1, current, &extended, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentBruteForce(const Dataset& dataset,
+                                                    uint32_t min_count) {
+  Tidset all(dataset.num_records());
+  for (Tid t = 0; t < dataset.num_records(); ++t) all[t] = t;
+  Itemset current;
+  std::vector<FrequentItemset> out;
+  Enumerate(dataset, min_count, 0, &current, &all, &out);
+  SortItemsets(&out);
+  return out;
+}
+
+std::vector<ClosedItemset> MineClosedBruteForce(const Dataset& dataset,
+                                                uint32_t min_count) {
+  std::vector<FrequentItemset> frequent =
+      MineFrequentBruteForce(dataset, min_count);
+  std::vector<ClosedItemset> closed;
+  for (const FrequentItemset& f : frequent) {
+    bool is_closed = true;
+    for (const FrequentItemset& g : frequent) {
+      if (g.count == f.count && g.items.size() > f.items.size() &&
+          ItemsetIsSubset(f.items, g.items)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (!is_closed) continue;
+    Tidset tids;
+    for (Tid t = 0; t < dataset.num_records(); ++t) {
+      if (dataset.ContainsAll(t, f.items)) tids.push_back(t);
+    }
+    closed.push_back({f.items, std::move(tids)});
+  }
+  SortClosedItemsets(&closed);
+  return closed;
+}
+
+uint32_t CountSupport(const Dataset& dataset, std::span<const ItemId> items) {
+  uint32_t count = 0;
+  for (Tid t = 0; t < dataset.num_records(); ++t) {
+    if (dataset.ContainsAll(t, items)) ++count;
+  }
+  return count;
+}
+
+}  // namespace colarm

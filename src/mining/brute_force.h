@@ -1,0 +1,30 @@
+#ifndef COLARM_MINING_BRUTE_FORCE_H_
+#define COLARM_MINING_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/charm.h"
+#include "mining/itemset.h"
+
+namespace colarm {
+
+/// Reference miners used only by tests: straightforward depth-first
+/// enumeration with per-itemset counting scans. Exponential in the worst
+/// case — feed them small datasets.
+
+/// All itemsets with support >= min_count.
+std::vector<FrequentItemset> MineFrequentBruteForce(const Dataset& dataset,
+                                                    uint32_t min_count);
+
+/// All *closed* frequent itemsets: frequent itemsets with no strict
+/// superset of equal support.
+std::vector<ClosedItemset> MineClosedBruteForce(const Dataset& dataset,
+                                                uint32_t min_count);
+
+/// Exact support count of an itemset by a full relation scan.
+uint32_t CountSupport(const Dataset& dataset, std::span<const ItemId> items);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_BRUTE_FORCE_H_

@@ -1,0 +1,163 @@
+#include "mining/charm.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace colarm {
+
+namespace {
+
+struct CharmNode {
+  Itemset items;
+  Tidset tids;
+  bool erased = false;
+};
+
+// Hash table used for the closedness check: candidates are bucketed by the
+// sum of their tids; a candidate X is subsumed iff some already-emitted C
+// in its bucket has the same support and X ⊂ C (equal support + subset
+// implies equal tidsets by downward closure).
+class ClosedSetRegistry {
+ public:
+  bool IsSubsumed(const Itemset& items, const Tidset& tids,
+                  uint64_t tidsum) const {
+    auto it = buckets_.find(tidsum);
+    if (it == buckets_.end()) return false;
+    for (const auto& entry : it->second) {
+      if (entry.support == tids.size() && ItemsetIsSubset(items, entry.items)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Add(Itemset items, size_t support, uint64_t tidsum) {
+    buckets_[tidsum].push_back({std::move(items), support});
+  }
+
+ private:
+  struct Entry {
+    Itemset items;
+    size_t support;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+};
+
+class CharmMiner {
+ public:
+  CharmMiner(uint32_t min_count, const ClosedItemsetSink& sink)
+      : min_count_(min_count), sink_(sink) {}
+
+  void Run(std::vector<CharmNode> roots) {
+    SortBySupport(&roots);
+    Extend(&roots);
+  }
+
+ private:
+  static void SortBySupport(std::vector<CharmNode>* klass) {
+    std::sort(klass->begin(), klass->end(),
+              [](const CharmNode& a, const CharmNode& b) {
+                if (a.tids.size() != b.tids.size()) {
+                  return a.tids.size() < b.tids.size();
+                }
+                return a.items < b.items;
+              });
+  }
+
+  // Processes one prefix-equivalence class. Nodes are support-ascending, so
+  // for j > i only the tidset relations t(Xi)==t(Xj), t(Xi)⊂t(Xj) and
+  // "overlap" can occur (t(Xj)⊂t(Xi) would force supp(Xj) < supp(Xi)).
+  void Extend(std::vector<CharmNode>* klass) {
+    const size_t size = klass->size();
+    std::vector<Tidset> cached(size);
+    for (size_t i = 0; i < size; ++i) {
+      CharmNode& x = (*klass)[i];
+      if (x.erased) continue;
+
+      // Pass 1: absorb closure items from siblings whose tidsets contain
+      // t(Xi) (properties 1 and 2), caching intersections for pass 2.
+      for (size_t j = i + 1; j < size; ++j) {
+        CharmNode& y = (*klass)[j];
+        if (y.erased) continue;
+        Tidset shared = TidsetIntersect(x.tids, y.tids);
+        if (shared.size() == x.tids.size()) {
+          // t(Xi) ⊆ t(Xj): Xj's items belong to closure(Xi).
+          x.items = ItemsetUnion(x.items, y.items);
+          if (shared.size() == y.tids.size()) {
+            y.erased = true;  // property 1: identical tidsets
+          }
+          cached[j].clear();
+        } else {
+          cached[j] = std::move(shared);
+        }
+      }
+
+      // Pass 2: spawn the child class from the cached proper overlaps,
+      // now that x.items carries its full closure w.r.t. this class.
+      std::vector<CharmNode> children;
+      for (size_t j = i + 1; j < size; ++j) {
+        if ((*klass)[j].erased || cached[j].size() < min_count_) continue;
+        children.push_back({ItemsetUnion(x.items, (*klass)[j].items),
+                            std::move(cached[j]), false});
+        cached[j].clear();
+      }
+      if (!children.empty()) {
+        SortBySupport(&children);
+        Extend(&children);
+      }
+
+      Emit(x);
+      x.tids.clear();
+      x.tids.shrink_to_fit();
+    }
+  }
+
+  void Emit(const CharmNode& node) {
+    const uint64_t tidsum = TidsetSum(node.tids);
+    if (registry_.IsSubsumed(node.items, node.tids, tidsum)) return;
+    registry_.Add(node.items, node.tids.size(), tidsum);
+    sink_(node.items, node.tids);
+  }
+
+  const uint32_t min_count_;
+  const ClosedItemsetSink& sink_;
+  ClosedSetRegistry registry_;
+};
+
+}  // namespace
+
+void MineCharm(const VerticalView& vertical, uint32_t min_count,
+               const ClosedItemsetSink& sink) {
+  std::vector<CharmNode> roots;
+  for (ItemId i = 0; i < vertical.num_items(); ++i) {
+    if (vertical.support(i) >= min_count) {
+      roots.push_back({{i}, vertical.tidset(i), false});
+    }
+  }
+  CharmMiner miner(min_count, sink);
+  miner.Run(std::move(roots));
+}
+
+std::vector<ClosedItemset> MineCharm(const VerticalView& vertical,
+                                     uint32_t min_count) {
+  std::vector<ClosedItemset> out;
+  MineCharm(vertical, min_count,
+            [&out](const Itemset& items, const Tidset& tids) {
+              out.push_back({items, tids});
+            });
+  return out;
+}
+
+std::vector<ClosedItemset> MineCharm(const Dataset& dataset,
+                                     uint32_t min_count) {
+  return MineCharm(VerticalView(dataset), min_count);
+}
+
+void SortClosedItemsets(std::vector<ClosedItemset>* itemsets) {
+  std::sort(itemsets->begin(), itemsets->end(),
+            [](const ClosedItemset& a, const ClosedItemset& b) {
+              return a.items < b.items;
+            });
+}
+
+}  // namespace colarm

@@ -1,0 +1,48 @@
+#ifndef COLARM_MINING_CHARM_H_
+#define COLARM_MINING_CHARM_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+#include "mining/tidset.h"
+#include "mining/vertical.h"
+
+namespace colarm {
+
+/// A closed frequent itemset (CFI) with its tidset. An itemset is closed
+/// when no strict superset has the same support.
+struct ClosedItemset {
+  Itemset items;
+  Tidset tids;
+
+  uint32_t count() const { return static_cast<uint32_t>(tids.size()); }
+};
+
+/// Streaming sink for mined CFIs. The tidset is only valid for the duration
+/// of the call — the MIP-index builder derives bounding boxes from it and
+/// drops it, keeping memory proportional to the number of CFIs, not to
+/// sum-of-tidset sizes.
+using ClosedItemsetSink =
+    std::function<void(const Itemset& items, const Tidset& tids)>;
+
+/// CHARM (Zaki & Hsiao, SDM'02): mines all closed itemsets with support >=
+/// min_count by a depth-first IT-tree search over (itemset, tidset) pairs,
+/// using the subsumption properties on equal/contained tidsets and a
+/// tidset-hash based non-closure check.
+void MineCharm(const VerticalView& vertical, uint32_t min_count,
+               const ClosedItemsetSink& sink);
+
+/// Convenience overloads materializing the result.
+std::vector<ClosedItemset> MineCharm(const VerticalView& vertical,
+                                     uint32_t min_count);
+std::vector<ClosedItemset> MineCharm(const Dataset& dataset,
+                                     uint32_t min_count);
+
+/// Canonical ordering for test comparisons.
+void SortClosedItemsets(std::vector<ClosedItemset>* itemsets);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_CHARM_H_

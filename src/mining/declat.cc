@@ -1,0 +1,80 @@
+#include "mining/declat.h"
+
+#include <algorithm>
+
+#include "mining/tidset.h"
+
+namespace colarm {
+
+namespace {
+
+// Sorted-merge set difference a \ b.
+Tidset TidsetDifference(std::span<const Tid> a, std::span<const Tid> b) {
+  Tidset out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+struct DeclatNode {
+  Itemset items;
+  Tidset diffset;  // relative to the class prefix
+  uint32_t support = 0;
+};
+
+void DeclatExtend(const std::vector<DeclatNode>& klass, uint32_t min_count,
+                  std::vector<FrequentItemset>* out) {
+  for (size_t i = 0; i < klass.size(); ++i) {
+    out->push_back({klass[i].items, klass[i].support});
+    std::vector<DeclatNode> next;
+    for (size_t j = i + 1; j < klass.size(); ++j) {
+      // d(PXY) = d(PY) \ d(PX); supp drops by the surviving difference.
+      Tidset diff = TidsetDifference(klass[j].diffset, klass[i].diffset);
+      uint32_t support =
+          klass[i].support - static_cast<uint32_t>(diff.size());
+      if (support >= min_count) {
+        next.push_back({ItemsetUnion(klass[i].items, klass[j].items),
+                        std::move(diff), support});
+      }
+    }
+    if (!next.empty()) DeclatExtend(next, min_count, out);
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineDEclat(const VerticalView& vertical,
+                                        uint32_t min_count) {
+  // Root classes are per-item; their children convert tidsets to diffsets:
+  // d(xy) = t(x) \ t(y), supp(xy) = supp(x) - |d(xy)|.
+  std::vector<ItemId> roots;
+  for (ItemId i = 0; i < vertical.num_items(); ++i) {
+    if (vertical.support(i) >= min_count) roots.push_back(i);
+  }
+  std::vector<FrequentItemset> out;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    const ItemId x = roots[i];
+    out.push_back({{x}, vertical.support(x)});
+    std::vector<DeclatNode> klass;
+    for (size_t j = i + 1; j < roots.size(); ++j) {
+      const ItemId y = roots[j];
+      Tidset diff = TidsetDifference(vertical.tidset(x), vertical.tidset(y));
+      uint32_t support =
+          vertical.support(x) - static_cast<uint32_t>(diff.size());
+      if (support >= min_count) {
+        klass.push_back({{x, y}, std::move(diff), support});
+      }
+    }
+    if (!klass.empty()) DeclatExtend(klass, min_count, &out);
+  }
+  SortItemsets(&out);
+  return out;
+}
+
+std::vector<FrequentItemset> MineDEclat(const Dataset& dataset,
+                                        uint32_t min_count) {
+  return MineDEclat(VerticalView(dataset), min_count);
+}
+
+}  // namespace colarm

@@ -1,0 +1,30 @@
+#ifndef COLARM_MINING_DECLAT_H_
+#define COLARM_MINING_DECLAT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+#include "mining/vertical.h"
+
+namespace colarm {
+
+/// dEclat (Zaki & Gouda, KDD'03): Eclat over *diffsets*. Instead of the
+/// tidset t(PX), each node keeps d(PX) = t(P) \ t(PX); then
+///
+///   d(PXY)    = d(PY) \ d(PX)
+///   supp(PXY) = supp(PX) - |d(PXY)|
+///
+/// Diffsets shrink as the search deepens on dense data (exactly the
+/// chess/PUMSB regime this system indexes), trading the root-level
+/// conversion cost for much smaller set operations below. Output is
+/// identical to MineEclat.
+std::vector<FrequentItemset> MineDEclat(const Dataset& dataset,
+                                        uint32_t min_count);
+
+std::vector<FrequentItemset> MineDEclat(const VerticalView& vertical,
+                                        uint32_t min_count);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_DECLAT_H_

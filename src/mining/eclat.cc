@@ -1,0 +1,50 @@
+#include "mining/eclat.h"
+
+namespace colarm {
+
+namespace {
+
+struct EclatNode {
+  Itemset items;
+  Tidset tids;
+};
+
+void EclatExtend(const std::vector<EclatNode>& klass, uint32_t min_count,
+                 std::vector<FrequentItemset>* out) {
+  for (size_t i = 0; i < klass.size(); ++i) {
+    out->push_back({klass[i].items,
+                    static_cast<uint32_t>(klass[i].tids.size())});
+    std::vector<EclatNode> next;
+    for (size_t j = i + 1; j < klass.size(); ++j) {
+      Tidset shared = TidsetIntersect(klass[i].tids, klass[j].tids);
+      if (shared.size() >= min_count) {
+        next.push_back({ItemsetUnion(klass[i].items, klass[j].items),
+                        std::move(shared)});
+      }
+    }
+    if (!next.empty()) EclatExtend(next, min_count, out);
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineEclat(const VerticalView& vertical,
+                                       uint32_t min_count) {
+  std::vector<EclatNode> roots;
+  for (ItemId i = 0; i < vertical.num_items(); ++i) {
+    if (vertical.support(i) >= min_count) {
+      roots.push_back({{i}, vertical.tidset(i)});
+    }
+  }
+  std::vector<FrequentItemset> out;
+  EclatExtend(roots, min_count, &out);
+  SortItemsets(&out);
+  return out;
+}
+
+std::vector<FrequentItemset> MineEclat(const Dataset& dataset,
+                                       uint32_t min_count) {
+  return MineEclat(VerticalView(dataset), min_count);
+}
+
+}  // namespace colarm

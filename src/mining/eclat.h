@@ -1,0 +1,25 @@
+#ifndef COLARM_MINING_ECLAT_H_
+#define COLARM_MINING_ECLAT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+#include "mining/vertical.h"
+
+namespace colarm {
+
+/// Eclat (Zaki, 1997): depth-first frequent itemset mining over the
+/// vertical representation using tidset intersections within prefix-based
+/// equivalence classes. Returns every itemset with support >= min_count.
+std::vector<FrequentItemset> MineEclat(const Dataset& dataset,
+                                       uint32_t min_count);
+
+/// Overload mining an existing vertical view (lets callers reuse one view
+/// across thresholds).
+std::vector<FrequentItemset> MineEclat(const VerticalView& vertical,
+                                       uint32_t min_count);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_ECLAT_H_

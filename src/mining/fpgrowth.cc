@@ -1,0 +1,167 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <map>
+
+namespace colarm {
+
+namespace {
+
+// One FP-tree: a counted prefix tree whose transactions are inserted in a
+// fixed frequency-descending item order, plus a header listing the nodes of
+// every item.
+class FpTree {
+ public:
+  FpTree() { nodes_.push_back({kInvalidItem, 0, 0, {}}); }
+
+  // `items` must be sorted in this tree's insertion order already.
+  void Insert(std::span<const ItemId> items, uint32_t count) {
+    uint32_t node = 0;  // root
+    for (ItemId item : items) {
+      uint32_t child = FindChild(node, item);
+      if (child == 0) {
+        child = static_cast<uint32_t>(nodes_.size());
+        nodes_.push_back({item, 0, node, {}});
+        nodes_[node].children.push_back(child);
+        header_[item].push_back(child);
+      }
+      nodes_[child].count += count;
+      node = child;
+    }
+  }
+
+  const std::map<ItemId, std::vector<uint32_t>>& header() const {
+    return header_;
+  }
+
+  uint32_t ItemSupport(ItemId item) const {
+    uint32_t total = 0;
+    auto it = header_.find(item);
+    if (it != header_.end()) {
+      for (uint32_t node : it->second) total += nodes_[node].count;
+    }
+    return total;
+  }
+
+  // Prefix path of `node` (excluding the node itself), root-most first.
+  std::vector<ItemId> PathTo(uint32_t node) const {
+    std::vector<ItemId> path;
+    uint32_t cur = nodes_[node].parent;
+    while (cur != 0) {
+      path.push_back(nodes_[cur].item);
+      cur = nodes_[cur].parent;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  uint32_t NodeCount(uint32_t node) const { return nodes_[node].count; }
+
+ private:
+  struct Node {
+    ItemId item;
+    uint32_t count;
+    uint32_t parent;
+    std::vector<uint32_t> children;
+  };
+
+  uint32_t FindChild(uint32_t node, ItemId item) const {
+    for (uint32_t child : nodes_[node].children) {
+      if (nodes_[child].item == item) return child;
+    }
+    return 0;
+  }
+
+  std::vector<Node> nodes_;
+  std::map<ItemId, std::vector<uint32_t>> header_;
+};
+
+// A weighted transaction of a conditional pattern base.
+struct WeightedPattern {
+  std::vector<ItemId> items;
+  uint32_t count;
+};
+
+// Builds an FP-tree over weighted patterns, filtering and ordering items by
+// their (weighted) frequency, then mines it recursively.
+void MinePatterns(const std::vector<WeightedPattern>& patterns,
+                  uint32_t min_count, const Itemset& suffix,
+                  std::vector<FrequentItemset>* out) {
+  // Weighted item counts for this projection.
+  std::map<ItemId, uint32_t> counts;
+  for (const WeightedPattern& p : patterns) {
+    for (ItemId item : p.items) counts[item] += p.count;
+  }
+  std::vector<std::pair<ItemId, uint32_t>> frequent;
+  for (const auto& [item, count] : counts) {
+    if (count >= min_count) frequent.emplace_back(item, count);
+  }
+  if (frequent.empty()) return;
+
+  // Frequency-descending rank (ties by item id for determinism).
+  std::sort(frequent.begin(), frequent.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::map<ItemId, uint32_t> rank;
+  for (uint32_t r = 0; r < frequent.size(); ++r) {
+    rank.emplace(frequent[r].first, r);
+  }
+
+  FpTree tree;
+  std::vector<ItemId> filtered;
+  for (const WeightedPattern& p : patterns) {
+    filtered.clear();
+    for (ItemId item : p.items) {
+      if (rank.contains(item)) filtered.push_back(item);
+    }
+    std::sort(filtered.begin(), filtered.end(),
+              [&rank](ItemId a, ItemId b) { return rank.at(a) < rank.at(b); });
+    if (!filtered.empty()) tree.Insert(filtered, p.count);
+  }
+
+  for (const auto& [item, nodes] : tree.header()) {
+    uint32_t support = tree.ItemSupport(item);
+    Itemset extended = ItemsetUnion(suffix, std::span<const ItemId>(&item, 1));
+    out->push_back({extended, support});
+
+    // Conditional pattern base for `item`.
+    std::vector<WeightedPattern> conditional;
+    conditional.reserve(nodes.size());
+    for (uint32_t node : nodes) {
+      std::vector<ItemId> path = tree.PathTo(node);
+      if (!path.empty()) {
+        conditional.push_back({std::move(path), tree.NodeCount(node)});
+      }
+    }
+    if (!conditional.empty()) {
+      MinePatterns(conditional, min_count, extended, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFpGrowth(const Dataset& dataset,
+                                          uint32_t min_count) {
+  std::vector<Tid> all(dataset.num_records());
+  for (Tid t = 0; t < dataset.num_records(); ++t) all[t] = t;
+  return MineFpGrowth(dataset, all, min_count);
+}
+
+std::vector<FrequentItemset> MineFpGrowth(const Dataset& dataset,
+                                          std::span<const Tid> subset,
+                                          uint32_t min_count) {
+  std::vector<WeightedPattern> transactions;
+  transactions.reserve(subset.size());
+  for (Tid t : subset) {
+    transactions.push_back({dataset.RecordItems(t), 1});
+  }
+  std::vector<FrequentItemset> out;
+  MinePatterns(transactions, min_count, {}, &out);
+  SortItemsets(&out);
+  return out;
+}
+
+}  // namespace colarm

@@ -1,0 +1,26 @@
+#ifndef COLARM_MINING_FPGROWTH_H_
+#define COLARM_MINING_FPGROWTH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+
+namespace colarm {
+
+/// FP-growth (Han, Pei & Yin, SIGMOD'00): builds a frequency-descending
+/// prefix tree (FP-tree) of the relation and mines frequent itemsets by
+/// recursive conditional-pattern-base projection, with the single-path
+/// shortcut. Returns every itemset with support >= min_count.
+std::vector<FrequentItemset> MineFpGrowth(const Dataset& dataset,
+                                          uint32_t min_count);
+
+/// FP-growth restricted to a subset of records (used by the ARM plan's
+/// FP-growth variant to mine a focal subset from scratch).
+std::vector<FrequentItemset> MineFpGrowth(const Dataset& dataset,
+                                          std::span<const Tid> subset,
+                                          uint32_t min_count);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_FPGROWTH_H_

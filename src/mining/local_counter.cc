@@ -1,0 +1,74 @@
+#include "mining/local_counter.h"
+
+#include <algorithm>
+
+namespace colarm {
+
+LocalSubsetCounter::LocalSubsetCounter(const Dataset& dataset, Itemset itemset,
+                                       std::span<const Tid> tids)
+    : dataset_(dataset),
+      itemset_(std::move(itemset)),
+      tids_(tids.begin(), tids.end()) {
+  const size_t len = itemset_.size();
+  use_mask_ = len <= kMaxMaskItems;
+  if (use_mask_) {
+    superset_counts_.assign(size_t{1} << len, 0);
+    for (Tid t : tids_) {
+      uint32_t mask = 0;
+      for (size_t i = 0; i < len; ++i) {
+        if (dataset_.ContainsItem(t, itemset_[i])) mask |= (1u << i);
+      }
+      ++superset_counts_[mask];
+    }
+    record_checks_ += tids_.size();
+    // Zeta transform over the superset lattice: after this,
+    // superset_counts_[m] = #records whose item mask is a superset of m.
+    for (size_t bit = 0; bit < len; ++bit) {
+      const uint32_t bitmask = 1u << bit;
+      for (uint32_t m = 0; m < superset_counts_.size(); ++m) {
+        if ((m & bitmask) == 0) {
+          superset_counts_[m] += superset_counts_[m | bitmask];
+        }
+      }
+    }
+    full_count_ = superset_counts_.empty()
+                      ? 0
+                      : superset_counts_[superset_counts_.size() - 1];
+  } else {
+    full_count_ = 0;
+    for (Tid t : tids_) {
+      if (dataset_.ContainsAll(t, itemset_)) ++full_count_;
+    }
+    record_checks_ += tids_.size();
+  }
+}
+
+uint32_t LocalSubsetCounter::MaskOf(std::span<const ItemId> subset) const {
+  uint32_t mask = 0;
+  size_t pos = 0;
+  for (ItemId item : subset) {
+    while (pos < itemset_.size() && itemset_[pos] < item) ++pos;
+    if (pos == itemset_.size() || itemset_[pos] != item) {
+      return UINT32_MAX;  // item not part of the base itemset
+    }
+    mask |= (1u << pos);
+    ++pos;
+  }
+  return mask;
+}
+
+uint32_t LocalSubsetCounter::CountOf(std::span<const ItemId> subset) const {
+  if (use_mask_) {
+    uint32_t mask = MaskOf(subset);
+    if (mask == UINT32_MAX) return 0;
+    return superset_counts_[mask];
+  }
+  uint32_t count = 0;
+  for (Tid t : tids_) {
+    if (dataset_.ContainsAll(t, subset)) ++count;
+  }
+  record_checks_ += tids_.size();
+  return count;
+}
+
+}  // namespace colarm

@@ -1,0 +1,59 @@
+#ifndef COLARM_MINING_LOCAL_COUNTER_H_
+#define COLARM_MINING_LOCAL_COUNTER_H_
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+#include "mining/tidset.h"
+
+namespace colarm {
+
+/// Counts, within a focal subset, the local support of *every* subset of a
+/// candidate itemset in a single scan — the record-level workhorse of the
+/// VERIFY operator (rule confidence needs antecedent counts for all
+/// partitions of the itemset).
+///
+/// For itemsets up to kMaxMaskItems items the counter builds a
+/// 2^L mask histogram (which record carries which sub-pattern) and applies
+/// a superset-sum (zeta) transform so each CountOf() is O(1); longer
+/// itemsets fall back to per-query scans over the stored tid list.
+class LocalSubsetCounter {
+ public:
+  static constexpr size_t kMaxMaskItems = 20;
+
+  /// `itemset` must be sorted; `tids` is the focal subset's tid list.
+  LocalSubsetCounter(const Dataset& dataset, Itemset itemset,
+                     std::span<const Tid> tids);
+
+  /// Local support count of a subset of the constructor itemset. `subset`
+  /// must be sorted and a subset of `itemset()`; unknown items count as
+  /// never-present (returns 0).
+  uint32_t CountOf(std::span<const ItemId> subset) const;
+
+  /// Local support count of the full itemset.
+  uint32_t CountFull() const { return full_count_; }
+
+  const Itemset& itemset() const { return itemset_; }
+  uint32_t base_size() const { return static_cast<uint32_t>(tids_.size()); }
+
+  /// Number of record-level containment checks performed so far (feeds the
+  /// plan cost statistics).
+  uint64_t record_checks() const { return record_checks_; }
+
+ private:
+  uint32_t MaskOf(std::span<const ItemId> subset) const;
+
+  const Dataset& dataset_;
+  Itemset itemset_;
+  std::vector<Tid> tids_;
+  bool use_mask_ = false;
+  std::vector<uint32_t> superset_counts_;  // after zeta transform
+  uint32_t full_count_ = 0;
+  mutable uint64_t record_checks_ = 0;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_LOCAL_COUNTER_H_

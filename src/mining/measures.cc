@@ -1,0 +1,100 @@
+#include "mining/measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "data/dataset.h"
+
+namespace colarm {
+
+namespace {
+
+double Frac(uint32_t count, uint32_t base) {
+  return base == 0 ? 0.0 : static_cast<double>(count) / base;
+}
+
+}  // namespace
+
+double Lift(const RuleCounts& counts) {
+  double px = Frac(counts.antecedent, counts.base);
+  double py = Frac(counts.consequent, counts.base);
+  double pxy = Frac(counts.both, counts.base);
+  if (px <= 0.0 || py <= 0.0) return 0.0;
+  return pxy / (px * py);
+}
+
+double Cosine(const RuleCounts& counts) {
+  double denom = std::sqrt(static_cast<double>(counts.antecedent) *
+                           counts.consequent);
+  return denom <= 0.0 ? 0.0 : counts.both / denom;
+}
+
+double Kulczynski(const RuleCounts& counts) {
+  if (counts.antecedent == 0 || counts.consequent == 0) return 0.0;
+  double conf_xy = static_cast<double>(counts.both) / counts.antecedent;
+  double conf_yx = static_cast<double>(counts.both) / counts.consequent;
+  return (conf_xy + conf_yx) / 2.0;
+}
+
+double AllConfidence(const RuleCounts& counts) {
+  uint32_t larger = std::max(counts.antecedent, counts.consequent);
+  return larger == 0 ? 0.0 : static_cast<double>(counts.both) / larger;
+}
+
+double MaxConfidence(const RuleCounts& counts) {
+  uint32_t smaller = std::min(counts.antecedent, counts.consequent);
+  return smaller == 0 ? 0.0 : static_cast<double>(counts.both) / smaller;
+}
+
+double Leverage(const RuleCounts& counts) {
+  double lev_xy = Frac(counts.both, counts.base) -
+                  Frac(counts.antecedent, counts.base) *
+                      Frac(counts.consequent, counts.base);
+  // Symmetric leverage; positive means the sides co-occur more than
+  // independence predicts.
+  return lev_xy;
+}
+
+double ImbalanceRatio(const RuleCounts& counts) {
+  double denom = static_cast<double>(counts.antecedent) + counts.consequent -
+                 counts.both;
+  if (denom <= 0.0) return 0.0;
+  return std::abs(static_cast<double>(counts.antecedent) -
+                  counts.consequent) /
+         denom;
+}
+
+RuleMeasures ComputeMeasures(const RuleCounts& counts) {
+  RuleMeasures measures;
+  measures.lift = Lift(counts);
+  measures.cosine = Cosine(counts);
+  measures.kulczynski = Kulczynski(counts);
+  measures.all_confidence = AllConfidence(counts);
+  measures.max_confidence = MaxConfidence(counts);
+  measures.leverage = Leverage(counts);
+  measures.imbalance = ImbalanceRatio(counts);
+  return measures;
+}
+
+std::string RuleMeasures::ToString() const {
+  return StrFormat(
+      "lift=%.2f cosine=%.2f kulc=%.2f allconf=%.2f maxconf=%.2f "
+      "leverage=%.3f ir=%.2f",
+      lift, cosine, kulczynski, all_confidence, max_confidence, leverage,
+      imbalance);
+}
+
+RuleCounts CountsForRule(const Dataset& dataset, std::span<const Tid> tids,
+                         const Rule& rule) {
+  RuleCounts counts;
+  counts.both = rule.itemset_count;
+  counts.antecedent = rule.antecedent_count;
+  counts.base = rule.base_count;
+  for (Tid t : tids) {
+    if (dataset.ContainsAll(t, rule.consequent)) ++counts.consequent;
+  }
+  return counts;
+}
+
+}  // namespace colarm

@@ -1,0 +1,76 @@
+#ifndef COLARM_MINING_MEASURES_H_
+#define COLARM_MINING_MEASURES_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "mining/rule.h"
+
+namespace colarm {
+
+/// Interestingness measures beyond support/confidence. The paper (Section
+/// 1.3) stresses *null-invariant* measures (Wu, Chen & Han, PKDD'07):
+/// measures unaffected by the number of records containing neither side of
+/// the rule, which is exactly what varies as the focal subset changes.
+/// All functions take the three local counts a rule carries plus the
+/// consequent's local count.
+struct RuleCounts {
+  uint32_t both = 0;        // |DQ_{X ∪ Y}|
+  uint32_t antecedent = 0;  // |DQ_X|
+  uint32_t consequent = 0;  // |DQ_Y|
+  uint32_t base = 0;        // |DQ|
+};
+
+/// P(Y|X) / P(Y): > 1 means positive correlation. NOT null-invariant
+/// (provided for completeness / comparison).
+double Lift(const RuleCounts& counts);
+
+/// supp(XY) / sqrt(supp(X) supp(Y)) — null-invariant; the geometric mean
+/// of the two directional confidences.
+double Cosine(const RuleCounts& counts);
+
+/// (P(Y|X) + P(X|Y)) / 2 — null-invariant; the arithmetic mean of the two
+/// directional confidences.
+double Kulczynski(const RuleCounts& counts);
+
+/// supp(XY) / max(supp(X), supp(Y)) — null-invariant; equals the smaller
+/// directional confidence.
+double AllConfidence(const RuleCounts& counts);
+
+/// supp(XY) / min(supp(X), supp(Y)) — null-invariant; equals the larger
+/// directional confidence.
+double MaxConfidence(const RuleCounts& counts);
+
+/// Piatetsky-Shapiro leverage supp(XY) - supp(X)supp(Y): co-occurrence
+/// beyond independence. NOT null-invariant.
+double Leverage(const RuleCounts& counts);
+
+/// The imbalance ratio |supp(X) - supp(Y)| / (supp(X)+supp(Y)-supp(XY)) —
+/// not an interestingness measure itself, but Wu et al.'s companion
+/// statistic: high Kulczynski with high imbalance flags "one-sided" rules.
+double ImbalanceRatio(const RuleCounts& counts);
+
+/// All measures of one rule, ready for display.
+struct RuleMeasures {
+  double lift = 0.0;
+  double cosine = 0.0;
+  double kulczynski = 0.0;
+  double all_confidence = 0.0;
+  double max_confidence = 0.0;
+  double leverage = 0.0;
+  double imbalance = 0.0;
+
+  std::string ToString() const;
+};
+
+RuleMeasures ComputeMeasures(const RuleCounts& counts);
+
+/// Derives the counts for `rule` by scanning the focal subset `tids` of
+/// `dataset` for the consequent's local support (the rule already carries
+/// the other three counts).
+RuleCounts CountsForRule(const Dataset& dataset, std::span<const Tid> tids,
+                         const Rule& rule);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_MEASURES_H_

@@ -1,0 +1,43 @@
+#include "mining/rule.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+std::string Rule::ToString(const Schema& schema) const {
+  std::string out = ItemsetToString(schema, antecedent);
+  out += " => ";
+  out += ItemsetToString(schema, consequent);
+  out += StrFormat(" (supp=%.1f%%, conf=%.1f%%)", support() * 100.0,
+                   confidence() * 100.0);
+  return out;
+}
+
+void RuleSet::Canonicalize() {
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+    return a.consequent < b.consequent;
+  });
+}
+
+bool RuleSet::SameAs(const RuleSet& other) const {
+  if (rules.size() != other.rules.size()) return false;
+  RuleSet a = *this;
+  RuleSet b = other;
+  a.Canonicalize();
+  b.Canonicalize();
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    const Rule& x = a.rules[i];
+    const Rule& y = b.rules[i];
+    if (!x.SameRule(y) || x.itemset_count != y.itemset_count ||
+        x.antecedent_count != y.antecedent_count ||
+        x.base_count != y.base_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace colarm

@@ -1,0 +1,45 @@
+#include "mining/rule_generator.h"
+
+namespace colarm {
+
+void GenerateRulesForItemset(const LocalSubsetCounter& counter, double minconf,
+                             const RuleGenOptions& options, RuleSet* out,
+                             RuleGenStats* stats) {
+  const Itemset& itemset = counter.itemset();
+  const size_t len = itemset.size();
+  if (len < 2) return;  // a rule needs a non-empty antecedent and consequent
+  if (len > options.max_itemset_length || len > 31) {
+    ++stats->itemsets_skipped;
+    return;
+  }
+  const uint32_t itemset_count = counter.CountFull();
+  const uint32_t base = counter.base_size();
+  const uint32_t full_mask = (1u << len) - 1;
+
+  Itemset antecedent;
+  Itemset consequent;
+  antecedent.reserve(len);
+  consequent.reserve(len);
+  for (uint32_t mask = 1; mask < full_mask; ++mask) {
+    ++stats->rules_considered;
+    antecedent.clear();
+    consequent.clear();
+    for (size_t i = 0; i < len; ++i) {
+      if (mask & (1u << i)) {
+        antecedent.push_back(itemset[i]);
+      } else {
+        consequent.push_back(itemset[i]);
+      }
+    }
+    const uint32_t antecedent_count = counter.CountOf(antecedent);
+    if (antecedent_count == 0) continue;
+    const double confidence =
+        static_cast<double>(itemset_count) / antecedent_count;
+    if (confidence + 1e-12 < minconf) continue;
+    out->rules.push_back(Rule{antecedent, consequent, itemset_count,
+                              antecedent_count, base});
+    ++stats->rules_emitted;
+  }
+}
+
+}  // namespace colarm

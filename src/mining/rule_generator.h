@@ -1,0 +1,35 @@
+#ifndef COLARM_MINING_RULE_GENERATOR_H_
+#define COLARM_MINING_RULE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "mining/local_counter.h"
+#include "mining/rule.h"
+
+namespace colarm {
+
+/// Limits and bookkeeping for rule enumeration.
+struct RuleGenOptions {
+  /// Antecedent enumeration is 2^L per itemset; itemsets longer than this
+  /// are skipped (and counted in RuleGenStats::itemsets_skipped) rather
+  /// than blowing up a query.
+  uint32_t max_itemset_length = 16;
+};
+
+struct RuleGenStats {
+  uint64_t rules_considered = 0;
+  uint64_t rules_emitted = 0;
+  uint64_t itemsets_skipped = 0;
+};
+
+/// Emits into `out` every rule X => Y with X ∪ Y = counter.itemset(),
+/// X, Y non-empty, and local confidence >= minconf. The itemset itself is
+/// assumed to already satisfy the local minsupport check (the ELIMINATE /
+/// SUPPORTED-VERIFY operators guarantee that).
+void GenerateRulesForItemset(const LocalSubsetCounter& counter, double minconf,
+                             const RuleGenOptions& options, RuleSet* out,
+                             RuleGenStats* stats);
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_RULE_GENERATOR_H_

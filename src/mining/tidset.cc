@@ -1,0 +1,60 @@
+#include "mining/tidset.h"
+
+#include <algorithm>
+
+namespace colarm {
+
+Tidset TidsetIntersect(std::span<const Tid> a, std::span<const Tid> b) {
+  Tidset out;
+  TidsetIntersectInto(a, b, &out);
+  return out;
+}
+
+void TidsetIntersectInto(std::span<const Tid> a, std::span<const Tid> b,
+                         Tidset* out) {
+  out->clear();
+  out->reserve(std::min(a.size(), b.size()));
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+uint32_t TidsetIntersectSize(std::span<const Tid> a, std::span<const Tid> b) {
+  uint32_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool TidsetIsSubset(std::span<const Tid> a, std::span<const Tid> b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+uint64_t TidsetSum(std::span<const Tid> tids) {
+  uint64_t sum = 0;
+  for (Tid t : tids) sum += t;
+  return sum;
+}
+
+}  // namespace colarm

@@ -1,0 +1,31 @@
+#include "mining/vertical.h"
+
+namespace colarm {
+
+VerticalView::VerticalView(const Dataset& dataset)
+    : tidsets_(dataset.schema().num_items()),
+      num_records_(dataset.num_records()) {
+  const Schema& schema = dataset.schema();
+  for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+    const std::vector<ValueId>& column = dataset.Column(a);
+    const ItemId base = schema.item_base(a);
+    for (Tid t = 0; t < column.size(); ++t) {
+      tidsets_[base + column[t]].push_back(t);
+    }
+  }
+}
+
+VerticalView::VerticalView(const Dataset& dataset, std::span<const Tid> subset)
+    : tidsets_(dataset.schema().num_items()),
+      num_records_(static_cast<uint32_t>(subset.size())) {
+  const Schema& schema = dataset.schema();
+  for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+    const std::vector<ValueId>& column = dataset.Column(a);
+    const ItemId base = schema.item_base(a);
+    for (Tid t : subset) {
+      tidsets_[base + column[t]].push_back(t);
+    }
+  }
+}
+
+}  // namespace colarm

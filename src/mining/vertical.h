@@ -1,0 +1,35 @@
+#ifndef COLARM_MINING_VERTICAL_H_
+#define COLARM_MINING_VERTICAL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "mining/tidset.h"
+
+namespace colarm {
+
+/// Vertical (item -> tidset) representation of a dataset, the input format
+/// for Eclat and CHARM. tidset(i) lists the records carrying item i.
+class VerticalView {
+ public:
+  explicit VerticalView(const Dataset& dataset);
+
+  /// Vertical view restricted to a subset of records (used by the ARM plan
+  /// to mine a focal subset from scratch). Tids keep their original ids.
+  VerticalView(const Dataset& dataset, std::span<const Tid> subset);
+
+  uint32_t num_items() const { return static_cast<uint32_t>(tidsets_.size()); }
+  uint32_t num_records() const { return num_records_; }
+  const Tidset& tidset(ItemId item) const { return tidsets_[item]; }
+  uint32_t support(ItemId item) const {
+    return static_cast<uint32_t>(tidsets_[item].size());
+  }
+
+ private:
+  std::vector<Tidset> tidsets_;
+  uint32_t num_records_ = 0;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_MINING_VERTICAL_H_

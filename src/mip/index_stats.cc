@@ -1,0 +1,99 @@
+#include "mip/index_stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "mip/mip_index.h"
+
+namespace colarm {
+
+double IndexStats::FractionWithCountAtLeast(uint32_t count) const {
+  if (sorted_counts.empty()) return 0.0;
+  auto it =
+      std::lower_bound(sorted_counts.begin(), sorted_counts.end(), count);
+  size_t passing = static_cast<size_t>(sorted_counts.end() - it);
+  return static_cast<double>(passing) / sorted_counts.size();
+}
+
+std::string IndexStats::ToString() const {
+  std::string out = StrFormat(
+      "MIP-index: %u MIPs over %u records x %u attributes\n"
+      "  primary count: %u, R-tree height: %u\n"
+      "  itemset length: avg %.2f, max %u\n"
+      "  avg MIP support fraction: %.3f\n",
+      num_mips, num_records, num_attributes, primary_count, rtree_height,
+      avg_itemset_length, max_itemset_length, avg_support_fraction);
+  for (size_t level = 0; level < levels.size(); ++level) {
+    double mean_extent = 0.0;
+    for (double e : levels[level].avg_extent) mean_extent += e;
+    if (!levels[level].avg_extent.empty()) {
+      mean_extent /= static_cast<double>(levels[level].avg_extent.size());
+    }
+    out += StrFormat("  level %zu: %u nodes, mean extent %.3f\n", level,
+                     levels[level].num_nodes, mean_extent);
+  }
+  return out;
+}
+
+IndexStats ComputeIndexStats(const MipIndex& index) {
+  IndexStats stats;
+  const Dataset& dataset = index.dataset();
+  const Schema& schema = dataset.schema();
+  const uint32_t n = schema.num_attributes();
+
+  stats.num_records = dataset.num_records();
+  stats.num_attributes = n;
+  stats.num_mips = index.num_mips();
+  stats.primary_count = index.primary_count();
+  stats.rtree_height = index.rtree().height();
+  stats.rtree_fanout = index.rtree().options().max_entries;
+
+  // Per-level node counts and average normalized extents.
+  stats.levels.assign(stats.rtree_height, RTreeLevelStats{});
+  for (auto& level : stats.levels) level.avg_extent.assign(n, 0.0);
+  index.rtree().ForEachNode(
+      [&](uint32_t level, const Rect& mbr, bool /*leaf*/, uint32_t /*fanout*/) {
+        RTreeLevelStats& ls = stats.levels[level];
+        ++ls.num_nodes;
+        for (uint32_t d = 0; d < n; ++d) {
+          ls.avg_extent[d] +=
+              mbr.NormalizedExtent(d, schema.attribute(d).domain_size());
+        }
+      });
+  for (auto& level : stats.levels) {
+    if (level.num_nodes > 0) {
+      for (double& e : level.avg_extent) e /= level.num_nodes;
+    }
+  }
+
+  // MIP-level aggregates.
+  stats.mip_avg_extent.assign(n, 0.0);
+  stats.sorted_counts.reserve(index.num_mips());
+  uint64_t length_sum = 0;
+  for (const Mip& mip : index.mips()) {
+    for (uint32_t d = 0; d < n; ++d) {
+      stats.mip_avg_extent[d] +=
+          mip.bbox.NormalizedExtent(d, schema.attribute(d).domain_size());
+    }
+    const auto len = static_cast<uint32_t>(mip.items.size());
+    length_sum += len;
+    stats.max_itemset_length = std::max(stats.max_itemset_length, len);
+    if (stats.length_histogram.size() <= len) {
+      stats.length_histogram.resize(len + 1, 0);
+    }
+    ++stats.length_histogram[len];
+    stats.sorted_counts.push_back(mip.global_count);
+    stats.avg_support_fraction +=
+        static_cast<double>(mip.global_count) / stats.num_records;
+  }
+  if (index.num_mips() > 0) {
+    for (double& e : stats.mip_avg_extent) e /= index.num_mips();
+    stats.avg_itemset_length =
+        static_cast<double>(length_sum) / index.num_mips();
+    stats.avg_support_fraction /= index.num_mips();
+  }
+  std::sort(stats.sorted_counts.begin(), stats.sorted_counts.end());
+  return stats;
+}
+
+}  // namespace colarm

@@ -1,0 +1,174 @@
+#include "mip/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x434c524d;  // "CLRM"
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void F64(double v) { Raw(&v, 8); }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  }
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  uint8_t U8() { return Raw<uint8_t>(); }
+  uint16_t U16() { return Raw<uint16_t>(); }
+  uint32_t U32() { return Raw<uint32_t>(); }
+  uint64_t U64() { return Raw<uint64_t>(); }
+  double F64() { return Raw<double>(); }
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+ private:
+  template <typename T>
+  T Raw() {
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    return value;
+  }
+  std::istream& in_;
+};
+
+}  // namespace
+
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  // FNV-1a over the schema shape, record count, and a deterministic cell
+  // sample. Cheap, stable, and sensitive to reordering or edits.
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  const Schema& schema = dataset.schema();
+  mix(schema.num_attributes());
+  mix(dataset.num_records());
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    mix(schema.attribute(a).domain_size());
+    for (char c : schema.attribute(a).name) mix(static_cast<uint64_t>(c));
+  }
+  const uint32_t m = dataset.num_records();
+  const uint32_t step = std::max<uint32_t>(1, m / 64);
+  for (Tid t = 0; t < m; t += step) {
+    for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+      mix((static_cast<uint64_t>(t) << 32) ^ (a << 16) ^
+          dataset.Value(t, a));
+    }
+  }
+  return hash;
+}
+
+Status SaveMipIndex(const MipIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  Writer w(out);
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U64(DatasetFingerprint(index.dataset()));
+  w.F64(index.options().primary_support);
+  w.U32(index.options().rtree.max_entries);
+  w.U32(index.options().rtree.min_entries);
+  w.U8(index.options().use_str_packing ? 1 : 0);
+  w.U32(index.primary_count());
+  const uint32_t dims = index.dataset().num_attributes();
+  w.U32(dims);
+  w.U32(index.num_mips());
+  for (uint32_t id = 0; id < index.num_mips(); ++id) {
+    const Mip& mip = index.mip(id);
+    w.U32(static_cast<uint32_t>(mip.items.size()));
+    for (ItemId item : mip.items) w.U32(item);
+    w.U32(mip.global_count);
+    for (uint32_t d = 0; d < dims; ++d) {
+      w.U16(mip.bbox.lo(d));
+      w.U16(mip.bbox.hi(d));
+    }
+  }
+  if (!w.ok()) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<MipIndex> LoadMipIndex(const Dataset& dataset,
+                              const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  Reader r(in);
+  if (r.U32() != kMagic) {
+    return Status::ParseError("'" + path + "' is not a COLARM index file");
+  }
+  uint32_t version = r.U32();
+  if (version != kVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported index version %u", version));
+  }
+  if (r.U64() != DatasetFingerprint(dataset)) {
+    return Status::FailedPrecondition(
+        "index file was built from a different dataset");
+  }
+  MipIndexOptions options;
+  options.primary_support = r.F64();
+  options.rtree.max_entries = r.U32();
+  options.rtree.min_entries = r.U32();
+  options.use_str_packing = r.U8() != 0;
+  uint32_t primary_count = r.U32();
+  uint32_t dims = r.U32();
+  if (dims != dataset.num_attributes()) {
+    return Status::ParseError("index dimensionality mismatch");
+  }
+  uint32_t num_mips = r.U32();
+  if (!r.ok()) return Status::ParseError("truncated index header");
+
+  const ItemId max_item = dataset.schema().num_items();
+  std::vector<Mip> mips;
+  mips.reserve(num_mips);
+  for (uint32_t i = 0; i < num_mips; ++i) {
+    Mip mip;
+    uint32_t len = r.U32();
+    if (len > max_item) return Status::ParseError("corrupt itemset length");
+    mip.items.reserve(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      ItemId item = r.U32();
+      if (item >= max_item) return Status::ParseError("item id out of range");
+      mip.items.push_back(item);
+    }
+    if (!ItemsetIsValid(mip.items)) {
+      return Status::ParseError("corrupt itemset ordering");
+    }
+    mip.global_count = r.U32();
+    mip.bbox = Rect::MakeEmpty(dims);
+    for (uint32_t d = 0; d < dims; ++d) {
+      ValueId lo = r.U16();
+      ValueId hi = r.U16();
+      mip.bbox.SetInterval(d, lo, hi);
+    }
+    if (!r.ok()) return Status::ParseError("truncated MIP record");
+    mips.push_back(std::move(mip));
+  }
+  return MipIndex::Assemble(dataset, options, primary_count, std::move(mips));
+}
+
+}  // namespace colarm

@@ -1,0 +1,29 @@
+#ifndef COLARM_PLANS_FOCAL_SUBSET_H_
+#define COLARM_PLANS_FOCAL_SUBSET_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "rtree/rect.h"
+
+namespace colarm {
+
+/// The materialized focal subset DQ: its selection box and the sorted tid
+/// list of records falling inside it. Every plan materializes DQ exactly
+/// once per query (the ARM plan's SELECT operator is the same scan).
+struct FocalSubset {
+  Rect box;
+  std::vector<Tid> tids;
+
+  uint32_t size() const { return static_cast<uint32_t>(tids.size()); }
+
+  /// Scans the relation once, testing only the constrained attributes.
+  /// `record_checks`, when given, is incremented by the number of
+  /// record-level membership tests performed.
+  static FocalSubset Materialize(const Dataset& dataset, const Rect& box,
+                                 uint64_t* record_checks = nullptr);
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_PLANS_FOCAL_SUBSET_H_

@@ -1,0 +1,202 @@
+#include "plans/operators.h"
+
+#include <algorithm>
+
+#include "mining/fpgrowth.h"
+#include "mining/local_counter.h"
+
+namespace colarm {
+
+PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
+                         const RuleGenOptions& rulegen)
+    : index(index), query(query), rulegen(rulegen) {
+  const Schema& schema = index.dataset().schema();
+  item_attr_mask = query.ItemAttrMask(schema);
+  subset = FocalSubset::Materialize(index.dataset(), query.ToRect(schema),
+                                    &record_checks);
+  local_min_count =
+      subset.size() == 0 ? 1 : MinCount(query.minsupp, subset.size());
+}
+
+PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
+                         const RuleGenOptions& rulegen, FocalSubset shared)
+    : index(index), query(query), rulegen(rulegen) {
+  item_attr_mask = query.ItemAttrMask(index.dataset().schema());
+  subset = std::move(shared);
+  local_min_count =
+      subset.size() == 0 ? 1 : MinCount(query.minsupp, subset.size());
+}
+
+bool PlanContext::MipAttrsAllowed(uint32_t mip_id) const {
+  const Schema& schema = index.dataset().schema();
+  for (ItemId item : index.mip(mip_id).items) {
+    if (!item_attr_mask[schema.AttrOfItem(item)]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+CandidateSet RunSearch(PlanContext* ctx, bool supported) {
+  CandidateSet out;
+  auto visitor = [&out](const RTreeEntry& entry, bool contained) {
+    (contained ? out.contained : out.overlapped).push_back(entry.id);
+  };
+  if (supported) {
+    ctx->index.rtree().SearchSupported(ctx->subset.box, ctx->local_min_count,
+                                       visitor, &ctx->rtree_stats);
+  } else {
+    ctx->index.rtree().Search(ctx->subset.box, visitor, &ctx->rtree_stats);
+  }
+  // Deterministic candidate order regardless of tree layout.
+  std::sort(out.contained.begin(), out.contained.end());
+  std::sort(out.overlapped.begin(), out.overlapped.end());
+  return out;
+}
+
+}  // namespace
+
+CandidateSet OpSearch(PlanContext* ctx) {
+  return RunSearch(ctx, /*supported=*/false);
+}
+
+CandidateSet OpSupportedSearch(PlanContext* ctx) {
+  return RunSearch(ctx, /*supported=*/true);
+}
+
+std::vector<QualifiedItemset> OpEliminate(
+    PlanContext* ctx, std::span<const uint32_t> candidates) {
+  std::vector<QualifiedItemset> qualified;
+  const Dataset& dataset = ctx->index.dataset();
+  for (uint32_t id : candidates) {
+    if (!ctx->MipAttrsAllowed(id)) continue;
+    const Mip& mip = ctx->index.mip(id);
+    uint32_t count = 0;
+    for (Tid t : ctx->subset.tids) {
+      if (dataset.ContainsAll(t, mip.items)) ++count;
+    }
+    ctx->record_checks += ctx->subset.tids.size();
+    if (count >= ctx->local_min_count) {
+      qualified.push_back({id, count});
+    }
+  }
+  return qualified;
+}
+
+std::vector<QualifiedItemset> QualifyContained(
+    PlanContext* ctx, std::span<const uint32_t> contained) {
+  std::vector<QualifiedItemset> qualified;
+  for (uint32_t id : contained) {
+    if (!ctx->MipAttrsAllowed(id)) continue;
+    const uint32_t count = ctx->index.mip(id).global_count;
+    // Lemma 4.5: containment makes the local count equal the global one.
+    // SUPPORTED-SEARCH already pruned counts below the threshold, but a
+    // plain SEARCH caller still needs the comparison.
+    if (count >= ctx->local_min_count) {
+      qualified.push_back({id, count});
+    }
+  }
+  return qualified;
+}
+
+std::vector<QualifiedItemset> OpUnion(std::vector<QualifiedItemset> a,
+                                      std::vector<QualifiedItemset> b) {
+  a.reserve(a.size() + b.size());
+  for (QualifiedItemset& q : b) a.push_back(q);
+  std::sort(a.begin(), a.end(),
+            [](const QualifiedItemset& x, const QualifiedItemset& y) {
+              return x.mip_id < y.mip_id;
+            });
+  return a;
+}
+
+void OpVerify(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
+              RuleSet* out) {
+  const Dataset& dataset = ctx->index.dataset();
+  for (const QualifiedItemset& q : qualified) {
+    LocalSubsetCounter counter(dataset, ctx->index.mip(q.mip_id).items,
+                               ctx->subset.tids);
+    GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                            &ctx->rule_stats);
+    ctx->record_checks += counter.record_checks();
+  }
+}
+
+void OpSupportedVerify(PlanContext* ctx, std::span<const uint32_t> candidates,
+                       RuleSet* out) {
+  const Dataset& dataset = ctx->index.dataset();
+  for (uint32_t id : candidates) {
+    if (!ctx->MipAttrsAllowed(id)) continue;
+    LocalSubsetCounter counter(dataset, ctx->index.mip(id).items,
+                               ctx->subset.tids);
+    ctx->record_checks += counter.record_checks();
+    if (counter.CountFull() < ctx->local_min_count) continue;
+    GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                            &ctx->rule_stats);
+  }
+}
+
+namespace {
+
+// ARM via FP-growth: mine every locally frequent itemset, then keep the
+// ones that are prestored CFIs (exact trie lookups). Because the frequent
+// list is complete above the threshold, the qualified set and its counts
+// are identical to the CHARM path's.
+std::vector<QualifiedItemset> ArmMineFpGrowth(PlanContext* ctx) {
+  std::vector<QualifiedItemset> qualified;
+  std::vector<FrequentItemset> frequent = MineFpGrowth(
+      ctx->index.dataset(), ctx->subset.tids, ctx->local_min_count);
+  ctx->local_cfis = frequent.size();
+  for (const FrequentItemset& f : frequent) {
+    auto id = ctx->index.ittree().Find(f.items);
+    if (!id.has_value()) continue;
+    if (!ctx->MipAttrsAllowed(*id)) continue;
+    qualified.push_back({*id, f.count});
+  }
+  std::sort(qualified.begin(), qualified.end(),
+            [](const QualifiedItemset& a, const QualifiedItemset& b) {
+              return a.mip_id < b.mip_id;
+            });
+  return qualified;
+}
+
+}  // namespace
+
+std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
+  std::vector<QualifiedItemset> qualified;
+  if (ctx->subset.tids.empty()) return qualified;
+  if (ctx->arm_miner == ArmMinerKind::kFpGrowth) {
+    return ArmMineFpGrowth(ctx);
+  }
+
+  // Traditional two-step mining over the extracted focal subset.
+  VerticalView local_view(ctx->index.dataset(), ctx->subset.tids);
+  ITTree local_tree;
+  std::vector<bool> seen(ctx->index.num_mips(), false);
+  std::vector<uint32_t> hits;
+
+  MineCharm(local_view, ctx->local_min_count,
+            [&](const Itemset& items, const Tidset& tids) {
+              ++ctx->local_cfis;
+              local_tree.Insert(items, static_cast<uint32_t>(tids.size()));
+              // Intersect with the prestored family: every globally stored
+              // CFI contained in this local CFI is locally frequent.
+              ctx->index.ittree().ForEachSubsetOf(items, [&](uint32_t id) {
+                if (!seen[id]) {
+                  seen[id] = true;
+                  hits.push_back(id);
+                }
+              });
+            });
+
+  std::sort(hits.begin(), hits.end());
+  for (uint32_t id : hits) {
+    if (!ctx->MipAttrsAllowed(id)) continue;
+    // Local support of a stored CFI = support of its local closure.
+    uint32_t count = local_tree.MaxSupersetCount(ctx->index.mip(id).items);
+    qualified.push_back({id, count});
+  }
+  return qualified;
+}
+
+}  // namespace colarm

@@ -1,0 +1,114 @@
+#ifndef COLARM_PLANS_OPERATORS_H_
+#define COLARM_PLANS_OPERATORS_H_
+
+#include <vector>
+
+#include "mining/rule_generator.h"
+#include "mip/mip_index.h"
+#include "plans/focal_subset.h"
+#include "plans/query.h"
+
+namespace colarm {
+
+/// Output of the SEARCH / SUPPORTED-SEARCH operators: MIP ids whose
+/// bounding boxes intersect the focal box, split by full containment
+/// (Lemma 4.5) vs. partial overlap. Plans that do not exploit the split
+/// simply process the concatenation.
+struct CandidateSet {
+  std::vector<uint32_t> contained;
+  std::vector<uint32_t> overlapped;
+
+  size_t total() const { return contained.size() + overlapped.size(); }
+};
+
+/// A candidate itemset that passed the local minsupport check, with its
+/// exact local support count.
+struct QualifiedItemset {
+  uint32_t mip_id = 0;
+  uint32_t local_count = 0;
+};
+
+/// Which algorithm the ARM baseline plan mines the focal subset with.
+/// CHARM (closed itemsets) is the paper's choice; the FP-growth variant
+/// mines all frequent itemsets and intersects them with the prestored
+/// family — same results, different cost profile (see the ablation in
+/// bench/micro_operators.cc).
+enum class ArmMinerKind {
+  kCharm,
+  kFpGrowth,
+};
+
+/// Mutable per-query state shared by the operators of one plan execution:
+/// the query, the materialized focal subset, and the effort counters the
+/// plan statistics report.
+struct PlanContext {
+  const MipIndex& index;
+  const LocalizedQuery& query;
+  RuleGenOptions rulegen;
+  ArmMinerKind arm_miner = ArmMinerKind::kCharm;
+
+  std::vector<bool> item_attr_mask;
+  FocalSubset subset;
+  uint32_t local_min_count = 0;
+
+  // Effort counters (accumulated across operators).
+  uint64_t record_checks = 0;
+  RTree::SearchStats rtree_stats;
+  RuleGenStats rule_stats;
+  uint64_t local_cfis = 0;  // ARM plan only
+
+  /// Materializes DQ and derives the absolute local support threshold.
+  PlanContext(const MipIndex& index, const LocalizedQuery& query,
+              const RuleGenOptions& rulegen);
+
+  /// Reuses an already-materialized focal subset (multi-query execution:
+  /// queries sharing a RANGE share one SELECT pass). `shared.box` must
+  /// equal the query's box.
+  PlanContext(const MipIndex& index, const LocalizedQuery& query,
+              const RuleGenOptions& rulegen, FocalSubset shared);
+
+  /// True iff every item of the MIP lies on an allowed item attribute.
+  bool MipAttrsAllowed(uint32_t mip_id) const;
+};
+
+/// SEARCH: R-tree range search with the focal box (coarse filter).
+CandidateSet OpSearch(PlanContext* ctx);
+
+/// SUPPORTED-SEARCH: range search + the supported R-tree filter pruning
+/// entries whose global count cannot reach the local minsupport.
+CandidateSet OpSupportedSearch(PlanContext* ctx);
+
+/// ELIMINATE: record-level local support check (plus item-attribute
+/// filter) over the given candidates.
+std::vector<QualifiedItemset> OpEliminate(PlanContext* ctx,
+                                          std::span<const uint32_t> candidates);
+
+/// Lemma 4.5 shortcut used by SS-E-U-V: contained MIPs qualify with
+/// local count == global count, no record scan (item filter still applies).
+std::vector<QualifiedItemset> QualifyContained(
+    PlanContext* ctx, std::span<const uint32_t> contained);
+
+/// UNION: merges mutually exclusive qualified lists (constant-time per
+/// element, no dedup needed).
+std::vector<QualifiedItemset> OpUnion(std::vector<QualifiedItemset> a,
+                                      std::vector<QualifiedItemset> b);
+
+/// VERIFY: generates rules from each qualified itemset and keeps those
+/// meeting minconfidence (record-level antecedent counting).
+void OpVerify(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
+              RuleSet* out);
+
+/// SUPPORTED-VERIFY: fused ELIMINATE+VERIFY — one record-level pass per
+/// candidate does both the minsupport check and rule generation.
+void OpSupportedVerify(PlanContext* ctx, std::span<const uint32_t> candidates,
+                       RuleSet* out);
+
+/// ARM: the traditional baseline — mines the focal subset from scratch
+/// with CHARM, intersects the local CFIs with the prestored family (the
+/// POQM contract), and verifies rules. Returns the qualified list so the
+/// caller can pass it to OpVerify.
+std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx);
+
+}  // namespace colarm
+
+#endif  // COLARM_PLANS_OPERATORS_H_

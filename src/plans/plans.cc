@@ -1,0 +1,188 @@
+#include "plans/plans.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace colarm {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSEV:
+      return "S-E-V";
+    case PlanKind::kSVS:
+      return "S-VS";
+    case PlanKind::kSSEV:
+      return "SS-E-V";
+    case PlanKind::kSSVS:
+      return "SS-VS";
+    case PlanKind::kSSEUV:
+      return "SS-E-U-V";
+    case PlanKind::kARM:
+      return "ARM";
+  }
+  return "?";
+}
+
+std::string PlanStats::ToString() const {
+  return StrFormat(
+      "%s: total=%.3fms (select=%.3f search=%.3f eliminate=%.3f "
+      "verify=%.3f mine=%.3f) |DQ|=%u minCount=%u cands=%llu "
+      "(contained=%llu) qualified=%llu recChecks=%llu rtreeNodes=%llu "
+      "rules=%llu",
+      PlanKindName(plan), total_ms, select_ms, search_ms, eliminate_ms,
+      verify_ms, mine_ms, subset_size, local_min_count,
+      static_cast<unsigned long long>(candidates_search),
+      static_cast<unsigned long long>(candidates_contained),
+      static_cast<unsigned long long>(candidates_qualified),
+      static_cast<unsigned long long>(record_checks),
+      static_cast<unsigned long long>(rtree_nodes_visited),
+      static_cast<unsigned long long>(rules_emitted));
+}
+
+namespace {
+
+// Concatenation used by plans that ignore the contained/overlapped split.
+std::vector<uint32_t> AllCandidates(const CandidateSet& set) {
+  std::vector<uint32_t> all = set.contained;
+  all.insert(all.end(), set.overlapped.begin(), set.overlapped.end());
+  return all;
+}
+
+}  // namespace
+
+Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
+                               const LocalizedQuery& query,
+                               const RuleGenOptions& rulegen,
+                               const FocalSubset* shared_subset,
+                               ArmMinerKind arm_miner) {
+  COLARM_RETURN_IF_ERROR(query.Validate(index.dataset().schema()));
+
+  PlanResult result;
+  PlanStats& stats = result.stats;
+  stats.plan = kind;
+
+  Timer total_timer;
+  Timer stage;
+  PlanContext ctx = shared_subset != nullptr
+                        ? PlanContext(index, query, rulegen, *shared_subset)
+                        : PlanContext(index, query, rulegen);
+  ctx.arm_miner = arm_miner;
+  stats.select_ms = stage.ElapsedMillis();
+  stats.subset_size = ctx.subset.size();
+  stats.local_min_count = ctx.local_min_count;
+
+  if (ctx.subset.size() > 0) {
+    switch (kind) {
+      case PlanKind::kSEV: {
+        stage.Restart();
+        CandidateSet cands = OpSearch(&ctx);
+        stats.search_ms = stage.ElapsedMillis();
+        stats.candidates_search = cands.total();
+        stats.candidates_contained = cands.contained.size();
+
+        stage.Restart();
+        std::vector<uint32_t> all = AllCandidates(cands);
+        std::vector<QualifiedItemset> qualified = OpEliminate(&ctx, all);
+        stats.eliminate_ms = stage.ElapsedMillis();
+        stats.candidates_qualified = qualified.size();
+
+        stage.Restart();
+        OpVerify(&ctx, qualified, &result.rules);
+        stats.verify_ms = stage.ElapsedMillis();
+        break;
+      }
+      case PlanKind::kSVS: {
+        stage.Restart();
+        CandidateSet cands = OpSearch(&ctx);
+        stats.search_ms = stage.ElapsedMillis();
+        stats.candidates_search = cands.total();
+        stats.candidates_contained = cands.contained.size();
+
+        stage.Restart();
+        std::vector<uint32_t> all = AllCandidates(cands);
+        OpSupportedVerify(&ctx, all, &result.rules);
+        stats.verify_ms = stage.ElapsedMillis();
+        break;
+      }
+      case PlanKind::kSSEV: {
+        stage.Restart();
+        CandidateSet cands = OpSupportedSearch(&ctx);
+        stats.search_ms = stage.ElapsedMillis();
+        stats.candidates_search = cands.total();
+        stats.candidates_contained = cands.contained.size();
+
+        stage.Restart();
+        std::vector<uint32_t> all = AllCandidates(cands);
+        std::vector<QualifiedItemset> qualified = OpEliminate(&ctx, all);
+        stats.eliminate_ms = stage.ElapsedMillis();
+        stats.candidates_qualified = qualified.size();
+
+        stage.Restart();
+        OpVerify(&ctx, qualified, &result.rules);
+        stats.verify_ms = stage.ElapsedMillis();
+        break;
+      }
+      case PlanKind::kSSVS: {
+        stage.Restart();
+        CandidateSet cands = OpSupportedSearch(&ctx);
+        stats.search_ms = stage.ElapsedMillis();
+        stats.candidates_search = cands.total();
+        stats.candidates_contained = cands.contained.size();
+
+        stage.Restart();
+        std::vector<uint32_t> all = AllCandidates(cands);
+        OpSupportedVerify(&ctx, all, &result.rules);
+        stats.verify_ms = stage.ElapsedMillis();
+        break;
+      }
+      case PlanKind::kSSEUV: {
+        stage.Restart();
+        CandidateSet cands = OpSupportedSearch(&ctx);
+        stats.search_ms = stage.ElapsedMillis();
+        stats.candidates_search = cands.total();
+        stats.candidates_contained = cands.contained.size();
+
+        // Contained MIPs skip the record-level support scan (Lemma 4.5);
+        // only partially overlapped ones pass through ELIMINATE.
+        stage.Restart();
+        std::vector<QualifiedItemset> from_contained =
+            QualifyContained(&ctx, cands.contained);
+        std::vector<QualifiedItemset> from_overlap =
+            OpEliminate(&ctx, cands.overlapped);
+        std::vector<QualifiedItemset> qualified =
+            OpUnion(std::move(from_contained), std::move(from_overlap));
+        stats.eliminate_ms = stage.ElapsedMillis();
+        stats.candidates_qualified = qualified.size();
+
+        stage.Restart();
+        OpVerify(&ctx, qualified, &result.rules);
+        stats.verify_ms = stage.ElapsedMillis();
+        break;
+      }
+      case PlanKind::kARM: {
+        stage.Restart();
+        std::vector<QualifiedItemset> qualified = OpArmMine(&ctx);
+        stats.mine_ms = stage.ElapsedMillis();
+        stats.candidates_qualified = qualified.size();
+        stats.local_cfis = ctx.local_cfis;
+
+        stage.Restart();
+        OpVerify(&ctx, qualified, &result.rules);
+        stats.verify_ms = stage.ElapsedMillis();
+        break;
+      }
+    }
+  }
+
+  stats.record_checks = ctx.record_checks;
+  stats.rtree_nodes_visited = ctx.rtree_stats.nodes_visited;
+  stats.rtree_pruned_by_support = ctx.rtree_stats.entries_pruned_by_support;
+  stats.rules_considered = ctx.rule_stats.rules_considered;
+  stats.rules_emitted = ctx.rule_stats.rules_emitted;
+  stats.itemsets_skipped = ctx.rule_stats.itemsets_skipped;
+  stats.total_ms = total_timer.ElapsedMillis();
+  result.rules.Canonicalize();
+  return result;
+}
+
+}  // namespace colarm

@@ -1,0 +1,91 @@
+#include "plans/query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace colarm {
+
+Rect LocalizedQuery::ToRect(const Schema& schema) const {
+  Rect box = Rect::FullDomain(schema);
+  for (const RangeSelection& range : ranges) {
+    box.SetInterval(range.attr, range.lo, range.hi);
+  }
+  return box;
+}
+
+std::vector<bool> LocalizedQuery::ItemAttrMask(const Schema& schema) const {
+  if (item_attrs.empty()) {
+    return std::vector<bool>(schema.num_attributes(), true);
+  }
+  std::vector<bool> mask(schema.num_attributes(), false);
+  for (AttrId a : item_attrs) mask[a] = true;
+  return mask;
+}
+
+Status LocalizedQuery::Validate(const Schema& schema) const {
+  std::vector<bool> seen(schema.num_attributes(), false);
+  for (const RangeSelection& range : ranges) {
+    if (range.attr >= schema.num_attributes()) {
+      return Status::OutOfRange(
+          StrFormat("range attribute %u out of range", range.attr));
+    }
+    if (seen[range.attr]) {
+      return Status::InvalidArgument(
+          StrFormat("attribute %u appears in RANGE twice", range.attr));
+    }
+    seen[range.attr] = true;
+    if (range.lo > range.hi) {
+      return Status::InvalidArgument(
+          StrFormat("inverted interval on attribute %u", range.attr));
+    }
+    if (range.hi >= schema.attribute(range.attr).domain_size()) {
+      return Status::OutOfRange(
+          StrFormat("interval exceeds domain of attribute %u", range.attr));
+    }
+  }
+  std::vector<bool> seen_item(schema.num_attributes(), false);
+  for (AttrId a : item_attrs) {
+    if (a >= schema.num_attributes()) {
+      return Status::OutOfRange(
+          StrFormat("item attribute %u out of range", a));
+    }
+    if (seen_item[a]) {
+      return Status::InvalidArgument(
+          StrFormat("attribute %u appears in ITEM ATTRIBUTES twice", a));
+    }
+    seen_item[a] = true;
+  }
+  if (minsupp <= 0.0 || minsupp > 1.0) {
+    return Status::InvalidArgument("minsupport must be in (0, 1]");
+  }
+  if (minconf <= 0.0 || minconf > 1.0) {
+    return Status::InvalidArgument("minconfidence must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+std::string LocalizedQuery::ToString(const Schema& schema) const {
+  std::string out = "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE ";
+  if (ranges.empty()) out += "<full dataset>";
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const Attribute& attr = schema.attribute(ranges[i].attr);
+    out += StrFormat("%s=[%s..%s]", attr.name.c_str(),
+                     attr.values[ranges[i].lo].c_str(),
+                     attr.values[ranges[i].hi].c_str());
+  }
+  if (!item_attrs.empty()) {
+    out += " AND ITEM ATTRIBUTES {";
+    for (size_t i = 0; i < item_attrs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += schema.attribute(item_attrs[i]).name;
+    }
+    out += "}";
+  }
+  out += StrFormat(" HAVING minsupport=%.2f AND minconfidence=%.2f", minsupp,
+                   minconf);
+  return out;
+}
+
+}  // namespace colarm

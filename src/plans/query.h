@@ -1,0 +1,50 @@
+#ifndef COLARM_PLANS_QUERY_H_
+#define COLARM_PLANS_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "rtree/rect.h"
+
+namespace colarm {
+
+/// One RANGE predicate: attribute value restricted to the inclusive value-id
+/// interval [lo, hi]. Intervals align with the prestored cell granularity
+/// (the paper's simplifying assumption in Section 3.4).
+struct RangeSelection {
+  AttrId attr = 0;
+  ValueId lo = 0;
+  ValueId hi = 0;
+};
+
+/// An online localized rule mining query Q (Section 2.2):
+///
+///   REPORT LOCALIZED ASSOCIATION RULES FROM D
+///   WHERE RANGE  <ranges>                 -- defines the focal subset DQ
+///   [AND ITEM ATTRIBUTES <item_attrs>]    -- rule vocabulary (default: all)
+///   HAVING minsupport = ... AND minconfidence = ...;
+struct LocalizedQuery {
+  std::vector<RangeSelection> ranges;  // unconstrained attrs span their domain
+  std::vector<AttrId> item_attrs;      // empty = all attributes
+  double minsupp = 0.5;
+  double minconf = 0.5;
+
+  /// The focal-subset box: query intervals on constrained attributes, full
+  /// domain elsewhere.
+  Rect ToRect(const Schema& schema) const;
+
+  /// Per-attribute mask of the item vocabulary.
+  std::vector<bool> ItemAttrMask(const Schema& schema) const;
+
+  /// Rejects duplicate/out-of-range attributes, inverted or out-of-domain
+  /// intervals, and thresholds outside (0, 1].
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_PLANS_QUERY_H_

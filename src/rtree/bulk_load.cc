@@ -1,0 +1,131 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colarm {
+
+/// Accesses RTree internals to assemble packed trees bottom-up.
+class RTreeBuilder {
+ public:
+  static RTree Build(uint32_t dims, const std::vector<RTreeEntry>& entries,
+                     RTree::Options options) {
+    RTree tree(dims, options);
+    if (entries.empty()) return tree;
+
+    tree.nodes_.clear();
+    tree.free_nodes_.clear();
+
+    // Leaf level: pack entries in order.
+    std::vector<uint32_t> level;
+    for (const auto& [begin, end] :
+         ChunkBoundaries(entries.size(), options)) {
+      uint32_t node_id = tree.NewNode(/*leaf=*/true);
+      for (size_t i = begin; i < end; ++i) {
+        tree.AddToNode(node_id, entries[i].box, entries[i].id,
+                       entries[i].count);
+      }
+      level.push_back(node_id);
+    }
+
+    // Internal levels until a single root remains.
+    uint32_t height = 1;
+    while (level.size() > 1) {
+      std::vector<uint32_t> parents;
+      for (const auto& [begin, end] : ChunkBoundaries(level.size(), options)) {
+        uint32_t node_id = tree.NewNode(/*leaf=*/false);
+        for (size_t i = begin; i < end; ++i) {
+          uint32_t child = level[i];
+          tree.AddToNode(node_id, tree.nodes_[child].mbr, child,
+                         tree.nodes_[child].max_count);
+        }
+        parents.push_back(node_id);
+      }
+      level = std::move(parents);
+      ++height;
+    }
+
+    tree.root_ = level[0];
+    tree.height_ = height;
+    tree.size_ = static_cast<uint32_t>(entries.size());
+    return tree;
+  }
+
+ private:
+  // [begin, end) ranges of size <= max_entries; the final two chunks are
+  // rebalanced so no chunk falls below min_entries (unless there is only
+  // one chunk total).
+  static std::vector<std::pair<size_t, size_t>> ChunkBoundaries(
+      size_t total, const RTree::Options& options) {
+    std::vector<std::pair<size_t, size_t>> chunks;
+    const size_t cap = options.max_entries;
+    size_t begin = 0;
+    while (begin < total) {
+      size_t end = std::min(begin + cap, total);
+      chunks.emplace_back(begin, end);
+      begin = end;
+    }
+    if (chunks.size() >= 2) {
+      auto& last = chunks.back();
+      auto& prev = chunks[chunks.size() - 2];
+      if (last.second - last.first < options.min_entries) {
+        size_t combined_begin = prev.first;
+        size_t combined_end = last.second;
+        size_t half = (combined_end - combined_begin + 1) / 2;
+        prev = {combined_begin, combined_begin + half};
+        last = {combined_begin + half, combined_end};
+      }
+    }
+    return chunks;
+  }
+};
+
+namespace {
+
+double Center(const Rect& box, uint32_t d) {
+  return (static_cast<double>(box.lo(d)) + box.hi(d)) / 2.0;
+}
+
+// Recursive Sort-Tile step: order entries[lo, hi) by dimension `d`, slice
+// into vertical slabs, and recurse into each slab with the next dimension.
+void StrTile(std::vector<RTreeEntry>& entries, size_t lo, size_t hi,
+             uint32_t d, uint32_t dims, uint32_t node_cap) {
+  const size_t count = hi - lo;
+  if (count <= node_cap || d + 1 >= dims) {
+    std::sort(entries.begin() + lo, entries.begin() + hi,
+              [d](const RTreeEntry& a, const RTreeEntry& b) {
+                return Center(a.box, d) < Center(b.box, d);
+              });
+    return;
+  }
+  std::sort(entries.begin() + lo, entries.begin() + hi,
+            [d](const RTreeEntry& a, const RTreeEntry& b) {
+              return Center(a.box, d) < Center(b.box, d);
+            });
+  const double leaves = std::ceil(static_cast<double>(count) / node_cap);
+  const auto slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(leaves, 1.0 / (dims - d)))));
+  const size_t slab_size = (count + slabs - 1) / slabs;
+  for (size_t begin = lo; begin < hi; begin += slab_size) {
+    size_t end = std::min(begin + slab_size, hi);
+    StrTile(entries, begin, end, d + 1, dims, node_cap);
+  }
+}
+
+}  // namespace
+
+RTree BulkLoadSTR(uint32_t dims, std::vector<RTreeEntry> entries,
+                  RTree::Options options) {
+  if (!entries.empty()) {
+    StrTile(entries, 0, entries.size(), 0, dims, options.max_entries);
+  }
+  return RTreeBuilder::Build(dims, entries, options);
+}
+
+RTree BulkLoadPacked(uint32_t dims, std::vector<RTreeEntry> entries,
+                     RTree::Options options) {
+  return RTreeBuilder::Build(dims, entries, options);
+}
+
+}  // namespace colarm

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/batch.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+struct Env {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<Engine> engine;
+
+  static Env Make(uint64_t seed) {
+    Env env;
+    env.data = std::make_unique<Dataset>(RandomDataset(seed, 250, 5, 4));
+    EngineOptions options;
+    options.index.primary_support = 0.2;
+    options.calibrate = false;
+    env.engine = std::move(Engine::Build(*env.data, options).value());
+    return env;
+  }
+};
+
+std::vector<LocalizedQuery> SessionQueries() {
+  // An exploration session: same region at three thresholds, a second
+  // region, one exact duplicate, one drill-down with an item vocabulary.
+  LocalizedQuery base;
+  base.ranges = {{0, 0, 1}};
+  base.minconf = 0.6;
+
+  std::vector<LocalizedQuery> queries;
+  for (double minsupp : {0.3, 0.4, 0.5}) {
+    LocalizedQuery q = base;
+    q.minsupp = minsupp;
+    queries.push_back(q);
+  }
+  LocalizedQuery other;
+  other.ranges = {{1, 0, 0}};
+  other.minsupp = 0.35;
+  other.minconf = 0.55;
+  queries.push_back(other);
+  queries.push_back(queries[1]);  // exact duplicate of the 0.4 query
+  LocalizedQuery drill = base;
+  drill.minsupp = 0.4;
+  drill.item_attrs = {1, 2, 3};
+  queries.push_back(drill);
+  return queries;
+}
+
+TEST(BatchTest, ResultsMatchStandaloneExecution) {
+  Env env = Env::Make(1);
+  auto queries = SessionQueries();
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute(queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto standalone = env.engine->Execute(queries[i]);
+    ASSERT_TRUE(standalone.ok());
+    EXPECT_TRUE(batch->results[i].rules.SameAs(standalone->rules))
+        << "query " << i;
+  }
+}
+
+TEST(BatchTest, SharesSubsetsAcrossQueries) {
+  Env env = Env::Make(2);
+  auto queries = SessionQueries();
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute(queries);
+  ASSERT_TRUE(batch.ok());
+  // Six queries over two distinct boxes (the duplicate is served from
+  // cache): at least three materializations saved.
+  EXPECT_GE(batch->subsets_shared, 3u);
+  EXPECT_EQ(batch->duplicates_reused, 1u);
+}
+
+TEST(BatchTest, DuplicateReuseCanBeDisabled) {
+  Env env = Env::Make(3);
+  auto queries = SessionQueries();
+  BatchOptions options;
+  options.reuse_duplicate_results = false;
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute(queries, options);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->duplicates_reused, 0u);
+  ASSERT_EQ(batch->results.size(), queries.size());
+  EXPECT_TRUE(batch->results[4].rules.SameAs(batch->results[1].rules));
+}
+
+TEST(BatchTest, SharingCanBeDisabled) {
+  Env env = Env::Make(4);
+  auto queries = SessionQueries();
+  BatchOptions options;
+  options.share_subsets = false;
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute(queries, options);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->subsets_shared, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto standalone = env.engine->Execute(queries[i]);
+    ASSERT_TRUE(standalone.ok());
+    EXPECT_TRUE(batch->results[i].rules.SameAs(standalone->rules));
+  }
+}
+
+TEST(BatchTest, ForcedPlanApplies) {
+  Env env = Env::Make(5);
+  auto queries = SessionQueries();
+  BatchOptions options;
+  options.use_optimizer = false;
+  options.forced_plan = PlanKind::kSEV;
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute(queries, options);
+  ASSERT_TRUE(batch.ok());
+  for (const QueryResult& result : batch->results) {
+    EXPECT_EQ(result.plan_used, PlanKind::kSEV);
+  }
+}
+
+TEST(BatchTest, InvalidQueryFailsWholeBatchUpFront) {
+  Env env = Env::Make(6);
+  auto queries = SessionQueries();
+  LocalizedQuery bad;
+  bad.ranges = {{99, 0, 0}};
+  queries.push_back(bad);
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute(queries);
+  EXPECT_FALSE(batch.ok());
+}
+
+TEST(BatchTest, EmptyBatch) {
+  Env env = Env::Make(7);
+  BatchExecutor executor(*env.engine);
+  auto batch = executor.Execute({});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->results.empty());
+  EXPECT_EQ(batch->subsets_shared, 0u);
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "data/csv_reader.h"
+
+namespace colarm {
+namespace {
+
+TEST(CsvReaderTest, CategoricalColumns) {
+  const std::string csv =
+      "city,product\n"
+      "boston,apple\n"
+      "seattle,pear\n"
+      "boston,apple\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_records(), 3u);
+  EXPECT_EQ(data->schema().attribute(0).name, "city");
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"boston", "seattle"}));
+  EXPECT_EQ(data->Value(2, 0), 0);
+  EXPECT_EQ(data->Value(1, 1), 1);
+}
+
+TEST(CsvReaderTest, NumericColumnGetsDiscretized) {
+  const std::string csv =
+      "name,age\n"
+      "a,10\n"
+      "b,20\n"
+      "c,30\n"
+      "d,40\n";
+  CsvOptions options;
+  options.numeric_bins = 2;
+  auto data = ReadCsvString(csv, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(1).domain_size(), 2u);
+  EXPECT_EQ(data->Value(0, 1), 0);
+  EXPECT_EQ(data->Value(3, 1), 1);
+}
+
+TEST(CsvReaderTest, MixedNumericStringsStayCategorical) {
+  const std::string csv =
+      "code\n"
+      "12\n"
+      "x9\n"
+      "12\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"12", "x9"}));
+}
+
+TEST(CsvReaderTest, MissingValuesGetSentinel) {
+  const std::string csv =
+      "a,b\n"
+      "x,1\n"
+      ",2\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values[1], "<missing>");
+  EXPECT_EQ(data->Value(1, 0), 1);
+}
+
+TEST(CsvReaderTest, NoHeaderSynthesizesNames) {
+  const std::string csv = "x,y\nx,z\n";
+  CsvOptions options;
+  options.has_header = false;
+  auto data = ReadCsvString(csv, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).name, "col0");
+  EXPECT_EQ(data->num_records(), 2u);
+}
+
+TEST(CsvReaderTest, CustomDelimiter) {
+  const std::string csv = "a;b\nx;y\n";
+  CsvOptions options;
+  options.delimiter = ';';
+  auto data = ReadCsvString(csv, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_attributes(), 2u);
+}
+
+TEST(CsvReaderTest, RaggedRowFails) {
+  const std::string csv = "a,b\nx\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReaderTest, EmptyInputFails) {
+  auto data = ReadCsvString("a,b\n", CsvOptions{});
+  EXPECT_FALSE(data.ok());
+}
+
+TEST(CsvReaderTest, MissingFileFails) {
+  auto data = ReadCsvFile("/nonexistent/path.csv", CsvOptions{});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvReaderTest, WhitespaceTrimmed) {
+  const std::string csv = " a , b \n x , y \n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).name, "a");
+  EXPECT_EQ(data->schema().attribute(0).values[0], "x");
+}
+
+}  // namespace
+}  // namespace colarm

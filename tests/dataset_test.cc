@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "mining/itemset.h"
+
+namespace colarm {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset dataset{Schema({
+      {"a", {"x", "y"}},
+      {"b", {"p", "q", "r"}},
+  })};
+  EXPECT_TRUE(dataset.AddRecord({0, 2}).ok());
+  EXPECT_TRUE(dataset.AddRecord({1, 0}).ok());
+  EXPECT_TRUE(dataset.AddRecord({0, 0}).ok());
+  return dataset;
+}
+
+TEST(DatasetTest, AddAndRead) {
+  Dataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.num_records(), 3u);
+  EXPECT_EQ(dataset.Value(0, 0), 0);
+  EXPECT_EQ(dataset.Value(0, 1), 2);
+  EXPECT_EQ(dataset.Value(2, 1), 0);
+}
+
+TEST(DatasetTest, RejectsWrongArity) {
+  Dataset dataset = MakeDataset();
+  Status st = dataset.AddRecord({0});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dataset.num_records(), 3u);
+}
+
+TEST(DatasetTest, RejectsOutOfDomainValue) {
+  Dataset dataset = MakeDataset();
+  Status st = dataset.AddRecord({2, 0});
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dataset.num_records(), 3u);
+}
+
+TEST(DatasetTest, RejectionLeavesColumnsConsistent) {
+  Dataset dataset = MakeDataset();
+  // The invalid value sits in the SECOND column; the first must not grow.
+  Status st = dataset.AddRecord({0, 9});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(dataset.Column(0).size(), dataset.Column(1).size());
+}
+
+TEST(DatasetTest, ContainsItem) {
+  Dataset dataset = MakeDataset();
+  const Schema& schema = dataset.schema();
+  EXPECT_TRUE(dataset.ContainsItem(0, schema.ItemOf(0, 0)));
+  EXPECT_FALSE(dataset.ContainsItem(0, schema.ItemOf(0, 1)));
+  EXPECT_TRUE(dataset.ContainsItem(0, schema.ItemOf(1, 2)));
+}
+
+TEST(DatasetTest, ContainsAll) {
+  Dataset dataset = MakeDataset();
+  const Schema& schema = dataset.schema();
+  Itemset both = {schema.ItemOf(0, 0), schema.ItemOf(1, 2)};
+  EXPECT_TRUE(dataset.ContainsAll(0, both));
+  EXPECT_FALSE(dataset.ContainsAll(1, both));
+  EXPECT_TRUE(dataset.ContainsAll(1, Itemset{}));  // empty set always holds
+}
+
+TEST(DatasetTest, RecordItemsSortedOnePerAttribute) {
+  Dataset dataset = MakeDataset();
+  auto items = dataset.RecordItems(1);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_LT(items[0], items[1]);
+  EXPECT_EQ(items[0], dataset.schema().ItemOf(0, 1));
+  EXPECT_EQ(items[1], dataset.schema().ItemOf(1, 0));
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/discretizer.h"
+
+namespace colarm {
+namespace {
+
+TEST(DiscretizerTest, EquiWidthBins) {
+  std::vector<double> column = {0, 1, 2, 3, 4, 5, 6, 7, 8, 10};
+  auto disc = Discretizer::Fit(column, 5, BinningScheme::kEquiWidth);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->num_bins(), 5u);
+  EXPECT_EQ(disc->Bin(0.0), 0);
+  EXPECT_EQ(disc->Bin(1.9), 0);
+  EXPECT_EQ(disc->Bin(2.0), 1);
+  EXPECT_EQ(disc->Bin(9.9), 4);
+  EXPECT_EQ(disc->Bin(10.0), 4);  // max lands in the final (closed) bin
+}
+
+TEST(DiscretizerTest, OutOfRangeClamps) {
+  std::vector<double> column = {0, 10};
+  auto disc = Discretizer::Fit(column, 2, BinningScheme::kEquiWidth);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->Bin(-100.0), 0);
+  EXPECT_EQ(disc->Bin(1000.0), disc->num_bins() - 1);
+}
+
+TEST(DiscretizerTest, EquiDepthBalancesCounts) {
+  std::vector<double> column;
+  for (int i = 0; i < 100; ++i) column.push_back(i);       // uniform 0..99
+  for (int i = 0; i < 100; ++i) column.push_back(i * 0.01);  // pile near 0
+  auto disc = Discretizer::Fit(column, 4, BinningScheme::kEquiDepth);
+  ASSERT_TRUE(disc.ok());
+  std::vector<int> counts(disc->num_bins(), 0);
+  for (double v : column) ++counts[disc->Bin(v)];
+  // Equi-depth: no bin may be wildly over-full.
+  for (int c : counts) EXPECT_LE(c, 120);
+}
+
+TEST(DiscretizerTest, EquiDepthCollapsesTies) {
+  std::vector<double> column(50, 5.0);
+  column.push_back(9.0);
+  auto disc = Discretizer::Fit(column, 10, BinningScheme::kEquiDepth);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_LE(disc->num_bins(), 10u);
+  EXPECT_GE(disc->num_bins(), 1u);
+  EXPECT_EQ(disc->Bin(5.0), 0);
+}
+
+TEST(DiscretizerTest, ConstantColumn) {
+  std::vector<double> column(10, 3.0);
+  auto disc = Discretizer::Fit(column, 4, BinningScheme::kEquiWidth);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->num_bins(), 1u);
+  EXPECT_EQ(disc->Bin(3.0), 0);
+}
+
+TEST(DiscretizerTest, RejectsEmptyColumn) {
+  std::vector<double> column;
+  auto disc = Discretizer::Fit(column, 4, BinningScheme::kEquiWidth);
+  EXPECT_FALSE(disc.ok());
+}
+
+TEST(DiscretizerTest, RejectsZeroBins) {
+  std::vector<double> column = {1.0};
+  auto disc = Discretizer::Fit(column, 0, BinningScheme::kEquiWidth);
+  EXPECT_FALSE(disc.ok());
+}
+
+TEST(DiscretizerTest, RejectsNaN) {
+  std::vector<double> column = {1.0, std::nan("")};
+  auto disc = Discretizer::Fit(column, 2, BinningScheme::kEquiWidth);
+  EXPECT_FALSE(disc.ok());
+}
+
+TEST(DiscretizerTest, LabelsMatchBinCount) {
+  std::vector<double> column = {0, 1, 2, 3, 4};
+  auto disc = Discretizer::Fit(column, 3, BinningScheme::kEquiWidth);
+  ASSERT_TRUE(disc.ok());
+  EXPECT_EQ(disc->labels().size(), disc->num_bins());
+  EXPECT_EQ(disc->edges().size(), disc->num_bins() + 1);
+}
+
+TEST(DiscretizerTest, BinsAreOrderedByValue) {
+  std::vector<double> column = {0, 25, 50, 75, 100};
+  auto disc = Discretizer::Fit(column, 4, BinningScheme::kEquiWidth);
+  ASSERT_TRUE(disc.ok());
+  ValueId prev = 0;
+  for (double v = 0; v <= 100; v += 5) {
+    ValueId bin = disc->Bin(v);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+}  // namespace
+}  // namespace colarm

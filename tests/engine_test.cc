@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/engine.h"
+#include "data/salary_dataset.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::ReferenceLocalizedRules;
+
+std::unique_ptr<Engine> BuildEngine(const Dataset& data, double primary) {
+  EngineOptions options;
+  options.index.primary_support = primary;
+  options.calibrate = false;
+  auto engine = Engine::Build(data, options);
+  EXPECT_TRUE(engine.ok());
+  return std::move(engine.value());
+}
+
+TEST(EngineTest, BuildExposesIndex) {
+  auto data = std::make_unique<Dataset>(RandomDataset(1, 150, 4, 3));
+  auto engine = BuildEngine(*data, 0.25);
+  EXPECT_GT(engine->index().num_mips(), 0u);
+  EXPECT_EQ(&engine->index().dataset(), data.get());
+}
+
+TEST(EngineTest, ExecuteReturnsOptimizerChoice) {
+  auto data = std::make_unique<Dataset>(RandomDataset(2, 200, 5, 3));
+  auto engine = BuildEngine(*data, 0.2);
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 1}};
+  query.minsupp = 0.4;
+  query.minconf = 0.6;
+  auto result = engine->Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->chosen_by_optimizer);
+  EXPECT_EQ(result->plan_used, result->decision.chosen);
+  EXPECT_EQ(result->stats.plan, result->plan_used);
+}
+
+TEST(EngineTest, ExecuteMatchesReference) {
+  auto data = std::make_unique<Dataset>(RandomDataset(3, 180, 5, 3));
+  auto engine = BuildEngine(*data, 0.2);
+  LocalizedQuery query;
+  query.ranges = {{1, 0, 0}};
+  query.minsupp = 0.35;
+  query.minconf = 0.5;
+  auto result = engine->Execute(query);
+  ASSERT_TRUE(result.ok());
+  RuleSet expected = ReferenceLocalizedRules(engine->index(), query);
+  EXPECT_TRUE(result->rules.SameAs(expected));
+}
+
+TEST(EngineTest, ForcedPlanMatchesOptimizedResult) {
+  auto data = std::make_unique<Dataset>(RandomDataset(4, 150, 4, 3));
+  auto engine = BuildEngine(*data, 0.25);
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 1}};
+  query.minsupp = 0.4;
+  query.minconf = 0.7;
+  auto optimized = engine->Execute(query);
+  ASSERT_TRUE(optimized.ok());
+  for (PlanKind kind : kAllPlans) {
+    auto forced = engine->ExecuteWithPlan(query, kind);
+    ASSERT_TRUE(forced.ok());
+    EXPECT_FALSE(forced->chosen_by_optimizer);
+    EXPECT_EQ(forced->plan_used, kind);
+    EXPECT_TRUE(forced->rules.SameAs(optimized->rules)) << PlanKindName(kind);
+  }
+}
+
+TEST(EngineTest, ExplainWithoutExecution) {
+  auto data = std::make_unique<Dataset>(RandomDataset(5, 120, 4, 3));
+  auto engine = BuildEngine(*data, 0.25);
+  LocalizedQuery query;
+  query.minsupp = 0.5;
+  query.minconf = 0.8;
+  auto decision = engine->Explain(query);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_GT(decision->chosen_estimate().total, 0.0);
+}
+
+TEST(EngineTest, RejectsInvalidQueries) {
+  auto data = std::make_unique<Dataset>(MakeSalaryDataset());
+  auto engine = BuildEngine(*data, 0.27);
+  LocalizedQuery query;
+  query.ranges = {{99, 0, 0}};
+  EXPECT_FALSE(engine->Execute(query).ok());
+  EXPECT_FALSE(engine->ExecuteWithPlan(query, PlanKind::kSEV).ok());
+  EXPECT_FALSE(engine->Explain(query).ok());
+}
+
+TEST(EngineTest, RejectsBadBuildOptions) {
+  auto data = std::make_unique<Dataset>(MakeSalaryDataset());
+  EngineOptions options;
+  options.index.primary_support = 0.0;
+  EXPECT_FALSE(Engine::Build(*data, options).ok());
+}
+
+TEST(EngineTest, SalaryEndToEnd) {
+  auto data = std::make_unique<Dataset>(MakeSalaryDataset());
+  auto engine = BuildEngine(*data, 0.27);
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}, {3, 1, 1}};
+  query.minsupp = 0.75;
+  query.minconf = 1.0;
+  auto result = engine->Execute(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->rules.rules.empty());
+  // All rules hold at 100% confidence in the 4-record subset.
+  for (const Rule& rule : result->rules.rules) {
+    EXPECT_EQ(rule.base_count, 4u);
+    EXPECT_DOUBLE_EQ(rule.confidence(), 1.0);
+    EXPECT_GE(rule.support(), 0.75);
+  }
+}
+
+TEST(EngineTest, CalibratedBuildWorks) {
+  auto data = std::make_unique<Dataset>(RandomDataset(6, 400, 5, 3));
+  EngineOptions options;
+  options.index.primary_support = 0.25;
+  options.calibrate = true;
+  auto engine = Engine::Build(*data, options);
+  ASSERT_TRUE(engine.ok());
+  LocalizedQuery query;
+  query.minsupp = 0.5;
+  query.minconf = 0.8;
+  EXPECT_TRUE(engine.value()->Execute(query).ok());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "data/salary_dataset.h"
+#include "plans/focal_subset.h"
+#include "plans/query.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+TEST(FocalSubsetTest, FullDomainSelectsEverything) {
+  Dataset data = MakeSalaryDataset();
+  FocalSubset subset =
+      FocalSubset::Materialize(data, Rect::FullDomain(data.schema()));
+  EXPECT_EQ(subset.size(), data.num_records());
+  for (Tid t = 0; t < data.num_records(); ++t) {
+    EXPECT_EQ(subset.tids[t], t);
+  }
+}
+
+TEST(FocalSubsetTest, SeattleFemales) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}, {3, 1, 1}};
+  FocalSubset subset =
+      FocalSubset::Materialize(data, query.ToRect(data.schema()));
+  EXPECT_EQ(subset.tids, (std::vector<Tid>{7, 8, 9, 10}));
+}
+
+TEST(FocalSubsetTest, EmptySelection) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.ranges = {{0, 3, 3}, {2, 1, 1}};  // Facebook in SFO: none
+  FocalSubset subset =
+      FocalSubset::Materialize(data, query.ToRect(data.schema()));
+  EXPECT_EQ(subset.size(), 0u);
+}
+
+TEST(FocalSubsetTest, TidsAreSortedUnique) {
+  Dataset data = RandomDataset(5, 200, 4, 4);
+  LocalizedQuery query;
+  query.ranges = {{1, 0, 1}};
+  FocalSubset subset =
+      FocalSubset::Materialize(data, query.ToRect(data.schema()));
+  for (size_t i = 1; i < subset.tids.size(); ++i) {
+    EXPECT_LT(subset.tids[i - 1], subset.tids[i]);
+  }
+}
+
+TEST(FocalSubsetTest, MatchesBruteForceMembership) {
+  Dataset data = RandomDataset(6, 300, 5, 4);
+  LocalizedQuery query;
+  query.ranges = {{0, 1, 2}, {3, 0, 1}};
+  Rect box = query.ToRect(data.schema());
+  FocalSubset subset = FocalSubset::Materialize(data, box);
+  std::vector<Tid> expected;
+  for (Tid t = 0; t < data.num_records(); ++t) {
+    ValueId v0 = data.Value(t, 0);
+    ValueId v3 = data.Value(t, 3);
+    if (v0 >= 1 && v0 <= 2 && v3 <= 1) expected.push_back(t);
+  }
+  EXPECT_EQ(subset.tids, expected);
+}
+
+TEST(FocalSubsetTest, RecordChecksCounted) {
+  Dataset data = RandomDataset(7, 100, 3, 3);
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 0}};
+  uint64_t checks = 0;
+  FocalSubset::Materialize(data, query.ToRect(data.schema()), &checks);
+  EXPECT_EQ(checks, data.num_records());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "data/histogram.h"
+
+namespace colarm {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset dataset{Schema({
+      {"a", {"v0", "v1", "v2", "v3"}},
+      {"b", {"w0", "w1"}},
+  })};
+  // Column a: 0,0,1,2,2,2 — Column b: 0,1,0,1,0,1
+  const ValueId rows[][2] = {{0, 0}, {0, 1}, {1, 0}, {2, 1}, {2, 0}, {2, 1}};
+  for (const auto& row : rows) {
+    EXPECT_TRUE(dataset.AddRecord({row[0], row[1]}).ok());
+  }
+  return dataset;
+}
+
+TEST(ValueHistogramTest, ExactCounts) {
+  Dataset dataset = MakeDataset();
+  ValueHistogram hist(dataset, 0);
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(2), 3u);
+  EXPECT_EQ(hist.count(3), 0u);
+}
+
+TEST(ValueHistogramTest, RangeCount) {
+  Dataset dataset = MakeDataset();
+  ValueHistogram hist(dataset, 0);
+  EXPECT_EQ(hist.RangeCount(0, 3), 6u);
+  EXPECT_EQ(hist.RangeCount(1, 2), 4u);
+  EXPECT_EQ(hist.RangeCount(3, 3), 0u);
+  EXPECT_EQ(hist.RangeCount(2, 1), 0u);  // inverted interval
+}
+
+TEST(ValueHistogramTest, RangeCountClampsHighBound) {
+  Dataset dataset = MakeDataset();
+  ValueHistogram hist(dataset, 1);
+  EXPECT_EQ(hist.RangeCount(0, 200), 6u);
+}
+
+TEST(ValueHistogramTest, Selectivity) {
+  Dataset dataset = MakeDataset();
+  ValueHistogram hist(dataset, 0);
+  EXPECT_DOUBLE_EQ(hist.Selectivity(0, 0), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(hist.Selectivity(0, 3), 1.0);
+}
+
+TEST(DatasetHistogramsTest, CoversAllAttributes) {
+  Dataset dataset = MakeDataset();
+  DatasetHistograms hists(dataset);
+  EXPECT_EQ(hists.num_attributes(), 2u);
+  EXPECT_EQ(hists.attribute(1).count(0), 3u);
+  EXPECT_EQ(hists.attribute(1).count(1), 3u);
+}
+
+TEST(JointHistogramTest, ExactPairCounts) {
+  Dataset dataset = MakeDataset();
+  JointHistogram joint(dataset, 0, 1);
+  // Rows: (0,0),(0,1),(1,0),(2,1),(2,0),(2,1).
+  EXPECT_EQ(joint.RangeCount(0, 0, 0, 0), 1u);
+  EXPECT_EQ(joint.RangeCount(2, 2, 1, 1), 2u);
+  EXPECT_EQ(joint.RangeCount(0, 3, 0, 1), 6u);
+  EXPECT_EQ(joint.RangeCount(3, 3, 0, 1), 0u);
+  EXPECT_EQ(joint.RangeCount(1, 0, 0, 1), 0u);  // inverted
+  EXPECT_DOUBLE_EQ(joint.Selectivity(2, 2, 0, 1), 0.5);
+}
+
+TEST(JointHistogramTest, ClampsOutOfRangeBounds) {
+  Dataset dataset = MakeDataset();
+  JointHistogram joint(dataset, 0, 1);
+  EXPECT_EQ(joint.RangeCount(0, 200, 0, 200), 6u);
+}
+
+TEST(DatasetHistogramsTest, JointBuiltWithinBudget) {
+  Dataset dataset = MakeDataset();
+  DatasetHistograms hists(dataset);  // 4x2 = 8 cells <= default budget
+  EXPECT_EQ(hists.num_joint(), 1u);
+  ASSERT_NE(hists.joint(0, 1), nullptr);
+  EXPECT_NE(hists.joint(1, 0), nullptr);  // unordered lookup
+  EXPECT_EQ(hists.joint(0, 0), nullptr);
+}
+
+TEST(DatasetHistogramsTest, JointBudgetZeroDisables) {
+  Dataset dataset = MakeDataset();
+  HistogramOptions options;
+  options.max_joint_cells = 0;
+  DatasetHistograms hists(dataset, options);
+  EXPECT_EQ(hists.num_joint(), 0u);
+  EXPECT_EQ(hists.joint(0, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ittree/ittree.h"
+
+namespace colarm {
+namespace {
+
+TEST(ITTreeTest, InsertAndFind) {
+  ITTree tree;
+  uint32_t a = tree.Insert({1, 3, 5}, 10);
+  uint32_t b = tree.Insert({1, 3}, 12);
+  uint32_t c = tree.Insert({2}, 30);
+  EXPECT_EQ(tree.size(), 3u);
+
+  ASSERT_TRUE(tree.Find(Itemset{1, 3, 5}).has_value());
+  EXPECT_EQ(*tree.Find(Itemset{1, 3, 5}), a);
+  EXPECT_EQ(*tree.Find(Itemset{1, 3}), b);
+  EXPECT_EQ(*tree.Find(Itemset{2}), c);
+  EXPECT_FALSE(tree.Find(Itemset{1}).has_value());
+  EXPECT_FALSE(tree.Find(Itemset{1, 3, 5, 7}).has_value());
+  EXPECT_FALSE(tree.Find(Itemset{9}).has_value());
+}
+
+TEST(ITTreeTest, ItemsAndCountsRoundTrip) {
+  ITTree tree;
+  uint32_t id = tree.Insert({4, 8}, 77);
+  EXPECT_EQ(tree.items(id), (Itemset{4, 8}));
+  EXPECT_EQ(tree.count(id), 77u);
+}
+
+TEST(ITTreeTest, MaxSupersetCount) {
+  ITTree tree;
+  tree.Insert({1, 3, 5}, 10);
+  tree.Insert({1, 3}, 12);
+  tree.Insert({3, 5, 7}, 8);
+  // Supersets of {3}: all three -> max 12.
+  EXPECT_EQ(tree.MaxSupersetCount(Itemset{3}), 12u);
+  // Supersets of {5}: {1,3,5} and {3,5,7} -> max 10.
+  EXPECT_EQ(tree.MaxSupersetCount(Itemset{5}), 10u);
+  // Supersets of {1,5}: only {1,3,5}.
+  EXPECT_EQ(tree.MaxSupersetCount(Itemset{1, 5}), 10u);
+  // No superset stored.
+  EXPECT_EQ(tree.MaxSupersetCount(Itemset{2}), 0u);
+  EXPECT_EQ(tree.MaxSupersetCount(Itemset{1, 3, 5, 9}), 0u);
+}
+
+TEST(ITTreeTest, EmptyItemsetIsSubsetOfEverything) {
+  ITTree tree;
+  tree.Insert({2, 4}, 5);
+  tree.Insert({7}, 9);
+  EXPECT_EQ(tree.MaxSupersetCount(Itemset{}), 9u);
+}
+
+TEST(ITTreeTest, ForEachSupersetEnumeratesExactly) {
+  ITTree tree;
+  Rng rng(5);
+  std::vector<Itemset> stored;
+  for (int i = 0; i < 200; ++i) {
+    Itemset items;
+    for (ItemId item = 0; item < 12; ++item) {
+      if (rng.Bernoulli(0.3)) items.push_back(item);
+    }
+    if (items.empty()) items.push_back(static_cast<ItemId>(rng.Uniform(12)));
+    if (!tree.Find(items).has_value()) {
+      tree.Insert(items, static_cast<uint32_t>(rng.Uniform(100)));
+      stored.push_back(items);
+    }
+  }
+  for (int q = 0; q < 60; ++q) {
+    Itemset probe;
+    for (ItemId item = 0; item < 12; ++item) {
+      if (rng.Bernoulli(0.2)) probe.push_back(item);
+    }
+    std::set<uint32_t> expected;
+    for (uint32_t id = 0; id < tree.size(); ++id) {
+      if (ItemsetIsSubset(probe, tree.items(id))) expected.insert(id);
+    }
+    std::set<uint32_t> actual;
+    tree.ForEachSuperset(probe, [&actual](uint32_t id) { actual.insert(id); });
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(ITTreeTest, ForEachSubsetOfEnumeratesExactly) {
+  ITTree tree;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    Itemset items;
+    for (ItemId item = 0; item < 12; ++item) {
+      if (rng.Bernoulli(0.3)) items.push_back(item);
+    }
+    if (items.empty()) items.push_back(static_cast<ItemId>(rng.Uniform(12)));
+    if (!tree.Find(items).has_value()) {
+      tree.Insert(items, static_cast<uint32_t>(rng.Uniform(100)));
+    }
+  }
+  for (int q = 0; q < 60; ++q) {
+    Itemset probe;
+    for (ItemId item = 0; item < 12; ++item) {
+      if (rng.Bernoulli(0.5)) probe.push_back(item);
+    }
+    std::set<uint32_t> expected;
+    for (uint32_t id = 0; id < tree.size(); ++id) {
+      if (ItemsetIsSubset(tree.items(id), probe)) expected.insert(id);
+    }
+    std::set<uint32_t> actual;
+    tree.ForEachSubsetOf(probe, [&actual](uint32_t id) { actual.insert(id); });
+    EXPECT_EQ(actual, expected) << "probe size " << probe.size();
+  }
+}
+
+TEST(ITTreeTest, SubsetWalkVisitsEachEntryOnce) {
+  ITTree tree;
+  tree.Insert({1, 2}, 5);
+  tree.Insert({1}, 9);
+  tree.Insert({2}, 7);
+  int visits = 0;
+  tree.ForEachSubsetOf(Itemset{1, 2, 3}, [&visits](uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(ITTreeTest, ForEachVisitsAll) {
+  ITTree tree;
+  tree.Insert({1}, 1);
+  tree.Insert({2}, 2);
+  tree.Insert({1, 2}, 3);
+  int visits = 0;
+  tree.ForEach([&visits](uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(ITTreeTest, SharedPrefixesShareNodes) {
+  ITTree tree;
+  tree.Insert({1, 2, 3}, 1);
+  tree.Insert({1, 2, 4}, 1);
+  tree.Insert({1, 2}, 1);
+  // Root + path 1,2 (2 nodes) + leaves 3 and 4 = 5 nodes.
+  EXPECT_EQ(tree.num_nodes(), 5u);
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "mining/local_counter.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+uint32_t NaiveCount(const Dataset& data, std::span<const Tid> tids,
+                    std::span<const ItemId> items) {
+  uint32_t count = 0;
+  for (Tid t : tids) {
+    if (data.ContainsAll(t, items)) ++count;
+  }
+  return count;
+}
+
+TEST(LocalSubsetCounterTest, FullCountMatchesNaive) {
+  Dataset data = RandomDataset(3, 80, 5, 3);
+  const Schema& schema = data.schema();
+  std::vector<Tid> tids;
+  for (Tid t = 0; t < data.num_records(); t += 2) tids.push_back(t);
+  Itemset itemset = {schema.ItemOf(0, 0), schema.ItemOf(2, 0),
+                     schema.ItemOf(4, 0)};
+  LocalSubsetCounter counter(data, itemset, tids);
+  EXPECT_EQ(counter.CountFull(), NaiveCount(data, tids, itemset));
+  EXPECT_EQ(counter.base_size(), tids.size());
+}
+
+TEST(LocalSubsetCounterTest, EverySubsetMatchesNaive) {
+  Dataset data = RandomDataset(4, 60, 6, 3);
+  const Schema& schema = data.schema();
+  std::vector<Tid> tids;
+  for (Tid t = 10; t < 50; ++t) tids.push_back(t);
+  Itemset itemset = {schema.ItemOf(1, 0), schema.ItemOf(3, 0),
+                     schema.ItemOf(4, 1), schema.ItemOf(5, 0)};
+  LocalSubsetCounter counter(data, itemset, tids);
+  const uint32_t full = (1u << itemset.size()) - 1;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    Itemset subset;
+    for (size_t i = 0; i < itemset.size(); ++i) {
+      if (mask & (1u << i)) subset.push_back(itemset[i]);
+    }
+    EXPECT_EQ(counter.CountOf(subset), NaiveCount(data, tids, subset))
+        << "mask " << mask;
+  }
+}
+
+TEST(LocalSubsetCounterTest, EmptySubsetCountsEverything) {
+  Dataset data = RandomDataset(5, 30, 4, 2);
+  std::vector<Tid> tids = {0, 5, 7, 9};
+  Itemset itemset = {data.schema().ItemOf(0, 0)};
+  LocalSubsetCounter counter(data, itemset, tids);
+  EXPECT_EQ(counter.CountOf(Itemset{}), tids.size());
+}
+
+TEST(LocalSubsetCounterTest, UnknownItemCountsZero) {
+  Dataset data = RandomDataset(6, 30, 4, 2);
+  const Schema& schema = data.schema();
+  std::vector<Tid> tids = {0, 1, 2};
+  LocalSubsetCounter counter(data, {schema.ItemOf(0, 0)}, tids);
+  EXPECT_EQ(counter.CountOf(Itemset{schema.ItemOf(1, 0)}), 0u);
+}
+
+TEST(LocalSubsetCounterTest, EmptyTidList) {
+  Dataset data = RandomDataset(7, 20, 4, 2);
+  LocalSubsetCounter counter(data, {data.schema().ItemOf(0, 0)}, {});
+  EXPECT_EQ(counter.CountFull(), 0u);
+  EXPECT_EQ(counter.base_size(), 0u);
+}
+
+TEST(LocalSubsetCounterTest, LongItemsetFallbackPath) {
+  // 22 attributes so the itemset exceeds kMaxMaskItems and exercises the
+  // direct-scan fallback.
+  Dataset data = RandomDataset(8, 50, 22, 2);
+  const Schema& schema = data.schema();
+  Itemset itemset;
+  for (AttrId a = 0; a < 22; ++a) itemset.push_back(schema.ItemOf(a, 0));
+  std::vector<Tid> tids;
+  for (Tid t = 0; t < data.num_records(); ++t) tids.push_back(t);
+  LocalSubsetCounter counter(data, itemset, tids);
+  EXPECT_EQ(counter.CountFull(), NaiveCount(data, tids, itemset));
+  Itemset sub = {itemset[0], itemset[10], itemset[21]};
+  EXPECT_EQ(counter.CountOf(sub), NaiveCount(data, tids, sub));
+}
+
+TEST(LocalSubsetCounterTest, RecordChecksAccumulate) {
+  Dataset data = RandomDataset(9, 40, 4, 2);
+  std::vector<Tid> tids = {0, 1, 2, 3, 4};
+  LocalSubsetCounter counter(data, {data.schema().ItemOf(0, 0)}, tids);
+  EXPECT_EQ(counter.record_checks(), tids.size());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "data/salary_dataset.h"
+#include "mining/measures.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+// A balanced positive-association contingency: |DQ|=100, X=40, Y=40, XY=30.
+RuleCounts Balanced() { return RuleCounts{30, 40, 40, 100}; }
+
+TEST(MeasuresTest, LiftAboveOneForPositiveAssociation) {
+  EXPECT_NEAR(Lift(Balanced()), 0.3 / (0.4 * 0.4), 1e-12);
+  EXPECT_GT(Lift(Balanced()), 1.0);
+}
+
+TEST(MeasuresTest, LiftOneUnderIndependence) {
+  // X=50, Y=40, XY=20 of 100: P(XY) = P(X)P(Y).
+  RuleCounts counts{20, 50, 40, 100};
+  EXPECT_NEAR(Lift(counts), 1.0, 1e-12);
+  EXPECT_NEAR(Leverage(counts), 0.0, 1e-12);
+}
+
+TEST(MeasuresTest, CosineIsGeometricMeanOfConfidences) {
+  RuleCounts counts = Balanced();
+  double conf_xy = 30.0 / 40.0;
+  double conf_yx = 30.0 / 40.0;
+  EXPECT_NEAR(Cosine(counts), std::sqrt(conf_xy * conf_yx), 1e-12);
+}
+
+TEST(MeasuresTest, KulczynskiIsArithmeticMeanOfConfidences) {
+  RuleCounts counts{30, 40, 60, 100};
+  EXPECT_NEAR(Kulczynski(counts), (30.0 / 40.0 + 30.0 / 60.0) / 2.0, 1e-12);
+}
+
+TEST(MeasuresTest, AllAndMaxConfidenceBracketKulczynski) {
+  RuleCounts counts{30, 40, 60, 100};
+  EXPECT_NEAR(AllConfidence(counts), 30.0 / 60.0, 1e-12);
+  EXPECT_NEAR(MaxConfidence(counts), 30.0 / 40.0, 1e-12);
+  EXPECT_LE(AllConfidence(counts), Kulczynski(counts));
+  EXPECT_LE(Kulczynski(counts), MaxConfidence(counts));
+}
+
+TEST(MeasuresTest, ImbalanceRatio) {
+  RuleCounts counts{30, 40, 60, 100};
+  EXPECT_NEAR(ImbalanceRatio(counts), 20.0 / 70.0, 1e-12);
+  EXPECT_NEAR(ImbalanceRatio(Balanced()), 0.0, 1e-12);
+}
+
+// The defining property: null-invariant measures must not change when
+// records containing neither X nor Y are added; lift/leverage must.
+TEST(MeasuresTest, NullInvarianceUnderNullAddition) {
+  RuleCounts before{30, 40, 60, 100};
+  RuleCounts after = before;
+  after.base += 900;  // 900 null transactions
+  EXPECT_NEAR(Cosine(before), Cosine(after), 1e-12);
+  EXPECT_NEAR(Kulczynski(before), Kulczynski(after), 1e-12);
+  EXPECT_NEAR(AllConfidence(before), AllConfidence(after), 1e-12);
+  EXPECT_NEAR(MaxConfidence(before), MaxConfidence(after), 1e-12);
+  EXPECT_NE(Lift(before), Lift(after));
+  EXPECT_NE(Leverage(before), Leverage(after));
+}
+
+TEST(MeasuresTest, DegenerateCountsAreSafe) {
+  RuleCounts zero{0, 0, 0, 0};
+  EXPECT_EQ(Lift(zero), 0.0);
+  EXPECT_EQ(Cosine(zero), 0.0);
+  EXPECT_EQ(Kulczynski(zero), 0.0);
+  EXPECT_EQ(AllConfidence(zero), 0.0);
+  EXPECT_EQ(MaxConfidence(zero), 0.0);
+  EXPECT_EQ(ImbalanceRatio(zero), 0.0);
+}
+
+TEST(MeasuresTest, ComputeMeasuresAggregates) {
+  RuleMeasures m = ComputeMeasures(Balanced());
+  EXPECT_DOUBLE_EQ(m.lift, Lift(Balanced()));
+  EXPECT_DOUBLE_EQ(m.cosine, Cosine(Balanced()));
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(MeasuresTest, CountsForRuleScansConsequent) {
+  Dataset data = MakeSalaryDataset();
+  const Schema& schema = data.schema();
+  std::vector<Tid> all(data.num_records());
+  for (Tid t = 0; t < data.num_records(); ++t) all[t] = t;
+  // RG: Age=20-30 => Salary=90K-120K with counts 5 / 6 / 8 over 11.
+  Rule rule{{schema.ItemOf(4, 0)}, {schema.ItemOf(5, 2)}, 5, 6, 11};
+  RuleCounts counts = CountsForRule(data, all, rule);
+  EXPECT_EQ(counts.both, 5u);
+  EXPECT_EQ(counts.antecedent, 6u);
+  EXPECT_EQ(counts.consequent, 8u);
+  EXPECT_EQ(counts.base, 11u);
+  RuleMeasures m = ComputeMeasures(counts);
+  EXPECT_GT(m.lift, 1.0);  // RG is a positive association globally
+}
+
+TEST(MeasuresTest, RandomCountsStayInRange) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t base = 1 + static_cast<uint32_t>(rng.Uniform(1000));
+    uint32_t x = 1 + static_cast<uint32_t>(rng.Uniform(base));
+    uint32_t y = 1 + static_cast<uint32_t>(rng.Uniform(base));
+    uint32_t xy = static_cast<uint32_t>(rng.Uniform(std::min(x, y) + 1));
+    RuleCounts counts{xy, x, y, base};
+    EXPECT_GE(Cosine(counts), 0.0);
+    EXPECT_LE(Cosine(counts), 1.0 + 1e-12);
+    EXPECT_GE(Kulczynski(counts), 0.0);
+    EXPECT_LE(Kulczynski(counts), 1.0 + 1e-12);
+    EXPECT_LE(AllConfidence(counts), MaxConfidence(counts) + 1e-12);
+    EXPECT_GE(ImbalanceRatio(counts), 0.0);
+    EXPECT_LE(ImbalanceRatio(counts), 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/salary_dataset.h"
+#include "mining/apriori.h"
+#include "mining/brute_force.h"
+#include "mining/declat.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+// (seed, records, attrs, domain, min_count)
+using MinerParam = std::tuple<uint64_t, uint32_t, uint32_t, uint32_t, uint32_t>;
+
+class MinerEquivalenceTest : public ::testing::TestWithParam<MinerParam> {};
+
+TEST_P(MinerEquivalenceTest, AllMinersAgreeWithBruteForce) {
+  auto [seed, records, attrs, domain, min_count] = GetParam();
+  Dataset data = RandomDataset(seed, records, attrs, domain);
+
+  auto expected = MineFrequentBruteForce(data, min_count);
+  auto apriori = MineApriori(data, min_count);
+  auto eclat = MineEclat(data, min_count);
+  auto declat = MineDEclat(data, min_count);
+  auto fp = MineFpGrowth(data, min_count);
+
+  EXPECT_EQ(apriori, expected) << "Apriori mismatch";
+  EXPECT_EQ(eclat, expected) << "Eclat mismatch";
+  EXPECT_EQ(declat, expected) << "dEclat mismatch";
+  EXPECT_EQ(fp, expected) << "FP-growth mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinerEquivalenceTest,
+    ::testing::Values(MinerParam{1, 40, 4, 3, 4}, MinerParam{2, 40, 4, 3, 10},
+                      MinerParam{3, 60, 5, 2, 6}, MinerParam{4, 60, 5, 2, 30},
+                      MinerParam{5, 30, 6, 3, 3}, MinerParam{6, 80, 3, 4, 8},
+                      MinerParam{7, 100, 4, 2, 50},
+                      MinerParam{8, 50, 5, 3, 25},
+                      MinerParam{9, 25, 7, 2, 5},
+                      MinerParam{10, 70, 4, 4, 7}));
+
+TEST(MinerTest, SalaryDatasetSingletons) {
+  Dataset data = MakeSalaryDataset();
+  auto frequent = MineEclat(data, 5);
+  // Items with support >= 5: Location=Boston (5), Gender=M (5)... verify a
+  // few hand-counted entries from Table 1.
+  const Schema& schema = data.schema();
+  auto find = [&](const Itemset& items) -> int {
+    for (const auto& f : frequent) {
+      if (f.items == items) return static_cast<int>(f.count);
+    }
+    return -1;
+  };
+  EXPECT_EQ(find({schema.ItemOf(2, 0)}), 5);              // Boston x5
+  EXPECT_EQ(find({schema.ItemOf(4, 0)}), 6);              // Age 20-30 x6
+  EXPECT_EQ(find({schema.ItemOf(5, 2)}), 8);              // Salary 90-120 x8
+  EXPECT_EQ(find({schema.ItemOf(4, 0), schema.ItemOf(5, 2)}), 5);  // RG pair
+  EXPECT_EQ(find({schema.ItemOf(0, 0)}), -1);             // IBM only x3
+}
+
+TEST(MinerTest, ThresholdOneReturnsEverySupportedItemset) {
+  Dataset data = RandomDataset(99, 12, 3, 2);
+  auto all = MineEclat(data, 1);
+  auto expected = MineFrequentBruteForce(data, 1);
+  EXPECT_EQ(all, expected);
+  EXPECT_FALSE(all.empty());
+}
+
+TEST(MinerTest, ThresholdAboveDatasetYieldsNothing) {
+  Dataset data = RandomDataset(13, 20, 3, 3);
+  EXPECT_TRUE(MineEclat(data, 21).empty());
+  EXPECT_TRUE(MineDEclat(data, 21).empty());
+  EXPECT_TRUE(MineApriori(data, 21).empty());
+  EXPECT_TRUE(MineFpGrowth(data, 21).empty());
+}
+
+TEST(MinerTest, DEclatMatchesEclatOnDenseData) {
+  // The diffset trade-off targets dense data; verify equality there too.
+  Dataset data = RandomDataset(55, 300, 6, 2);
+  for (uint32_t min_count : {30u, 90u, 180u}) {
+    EXPECT_EQ(MineDEclat(data, min_count), MineEclat(data, min_count))
+        << "min_count " << min_count;
+  }
+}
+
+TEST(MinerTest, SupportsAreDownwardClosed) {
+  Dataset data = RandomDataset(21, 60, 5, 3);
+  auto frequent = MineEclat(data, 6);
+  // Build a lookup for subset-support checks.
+  std::map<Itemset, uint32_t> by_items;
+  for (const auto& f : frequent) by_items[f.items] = f.count;
+  for (const auto& f : frequent) {
+    if (f.items.size() < 2) continue;
+    for (size_t drop = 0; drop < f.items.size(); ++drop) {
+      Itemset sub;
+      for (size_t i = 0; i < f.items.size(); ++i) {
+        if (i != drop) sub.push_back(f.items[i]);
+      }
+      auto it = by_items.find(sub);
+      ASSERT_NE(it, by_items.end())
+          << "subset of a frequent itemset missing from output";
+      EXPECT_GE(it->second, f.count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/parameter_space.h"
+#include "plans/plans.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+struct Env {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<MipIndex> index;
+
+  static Env Make(uint64_t seed) {
+    Env env;
+    env.data = std::make_unique<Dataset>(RandomDataset(seed, 200, 5, 3));
+    auto built = MipIndex::Build(*env.data, {.primary_support = 0.2});
+    EXPECT_TRUE(built.ok());
+    env.index = std::make_unique<MipIndex>(std::move(built.value()));
+    return env;
+  }
+};
+
+LocalizedQuery Base() {
+  LocalizedQuery base;
+  base.ranges = {{0, 0, 1}};
+  return base;
+}
+
+TEST(ParameterSpaceTest, RulesAtMatchesPlanExecution) {
+  Env env = Env::Make(1);
+  auto view = ParameterSpaceView::Build(*env.index, Base(),
+                                        {.min_support_floor = 0.25});
+  ASSERT_TRUE(view.ok());
+
+  for (double minsupp : {0.3, 0.45, 0.6, 0.8}) {
+    for (double minconf : {0.4, 0.7, 0.95}) {
+      LocalizedQuery query = Base();
+      query.minsupp = minsupp;
+      query.minconf = minconf;
+      auto expected = ExecutePlan(PlanKind::kSEV, *env.index, query);
+      ASSERT_TRUE(expected.ok());
+      auto actual = view->RulesAt(minsupp, minconf);
+      ASSERT_TRUE(actual.ok());
+      EXPECT_TRUE(actual->SameAs(expected->rules))
+          << "at (" << minsupp << ", " << minconf << ")";
+    }
+  }
+}
+
+TEST(ParameterSpaceTest, BelowFloorIsRejected) {
+  Env env = Env::Make(2);
+  auto view = ParameterSpaceView::Build(*env.index, Base(),
+                                        {.min_support_floor = 0.4});
+  ASSERT_TRUE(view.ok());
+  auto rules = view->RulesAt(0.2, 0.5);
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(view->CountAt(0.2, 0.5).ok());
+}
+
+TEST(ParameterSpaceTest, CountsAreMonotoneInThresholds) {
+  Env env = Env::Make(3);
+  auto view = ParameterSpaceView::Build(*env.index, Base(),
+                                        {.min_support_floor = 0.25});
+  ASSERT_TRUE(view.ok());
+  uint32_t prev = UINT32_MAX;
+  for (double minsupp : {0.25, 0.4, 0.55, 0.7, 0.85}) {
+    uint32_t count = view->CountAt(minsupp, 0.5).value();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+  prev = UINT32_MAX;
+  for (double minconf : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    uint32_t count = view->CountAt(0.3, minconf).value();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(ParameterSpaceTest, CountGridMatchesPointQueries) {
+  Env env = Env::Make(4);
+  auto view = ParameterSpaceView::Build(*env.index, Base(),
+                                        {.min_support_floor = 0.3});
+  ASSERT_TRUE(view.ok());
+  std::vector<double> supps = {0.2, 0.4, 0.7};  // first is below floor
+  std::vector<double> confs = {0.5, 0.9};
+  auto grid = view->CountGrid(supps, confs);
+  ASSERT_EQ(grid.size(), 3u);
+  ASSERT_EQ(grid[0].size(), 2u);
+  EXPECT_EQ(grid[0][0], UINT32_MAX);  // below-floor marker
+  EXPECT_EQ(grid[1][0], view->CountAt(0.4, 0.5).value());
+  EXPECT_EQ(grid[2][1], view->CountAt(0.7, 0.9).value());
+}
+
+TEST(ParameterSpaceTest, EmptySubsetView) {
+  Env env = Env::Make(5);
+  // Probe for an impossible conjunction.
+  LocalizedQuery base;
+  base.ranges = {{0, 2, 2}, {1, 2, 2}, {2, 2, 2}, {3, 2, 2}, {4, 2, 2}};
+  auto view = ParameterSpaceView::Build(*env.index, base,
+                                        {.min_support_floor = 0.3});
+  ASSERT_TRUE(view.ok());
+  if (view->subset_size() == 0) {
+    EXPECT_EQ(view->num_points(), 0u);
+    EXPECT_TRUE(view->RulesAt(0.5, 0.5).value().rules.empty());
+  }
+}
+
+TEST(ParameterSpaceTest, RejectsBadFloor) {
+  Env env = Env::Make(6);
+  EXPECT_FALSE(ParameterSpaceView::Build(*env.index, Base(),
+                                         {.min_support_floor = 0.0})
+                   .ok());
+  EXPECT_FALSE(ParameterSpaceView::Build(*env.index, Base(),
+                                         {.min_support_floor = 1.5})
+                   .ok());
+}
+
+TEST(ParameterSpaceTest, ItemVocabularyRespected) {
+  Env env = Env::Make(7);
+  LocalizedQuery base = Base();
+  base.item_attrs = {1, 2};
+  auto view = ParameterSpaceView::Build(*env.index, base,
+                                        {.min_support_floor = 0.25});
+  ASSERT_TRUE(view.ok());
+  auto rules = view->RulesAt(0.3, 0.3);
+  ASSERT_TRUE(rules.ok());
+  const Schema& schema = env.data->schema();
+  for (const Rule& rule : rules->rules) {
+    for (ItemId item : ItemsetUnion(rule.antecedent, rule.consequent)) {
+      AttrId a = schema.AttrOfItem(item);
+      EXPECT_TRUE(a == 1 || a == 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/query_parser.h"
+#include "data/salary_dataset.h"
+
+namespace colarm {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  Dataset data_ = MakeSalaryDataset();
+  const Schema& schema() const { return data_.schema(); }
+};
+
+TEST_F(QueryParserTest, FullQuery) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES "
+                          "FROM salary "
+                          "WHERE RANGE Location = {Seattle} AND Gender = {F} "
+                          "AND ITEM ATTRIBUTES {Age, Salary} "
+                          "HAVING minsupport = 0.75 AND minconfidence = 0.9;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->ranges.size(), 2u);
+  EXPECT_EQ(query->ranges[0].attr, 2u);
+  EXPECT_EQ(query->ranges[0].lo, 2);
+  EXPECT_EQ(query->ranges[0].hi, 2);
+  EXPECT_EQ(query->ranges[1].attr, 3u);
+  EXPECT_EQ(query->item_attrs, (std::vector<AttrId>{4, 5}));
+  EXPECT_DOUBLE_EQ(query->minsupp, 0.75);
+  EXPECT_DOUBLE_EQ(query->minconf, 0.9);
+}
+
+TEST_F(QueryParserTest, PercentThresholdsAndCaseInsensitiveKeywords) {
+  auto query = ParseQuery(schema(),
+                          "report localized association rules "
+                          "where range Gender = {M} "
+                          "having MINSUPPORT = 60% and MinConfidence = 85%");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_DOUBLE_EQ(query->minsupp, 0.6);
+  EXPECT_DOUBLE_EQ(query->minconf, 0.85);
+  EXPECT_TRUE(query->item_attrs.empty());
+}
+
+TEST_F(QueryParserTest, MultiValueContiguousRange) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Age = {20-30, 30-40} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->ranges.size(), 1u);
+  EXPECT_EQ(query->ranges[0].lo, 0);
+  EXPECT_EQ(query->ranges[0].hi, 1);
+}
+
+TEST_F(QueryParserTest, OutOfOrderValueListStillContiguous) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Age = {30-40, 20-30} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5;");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->ranges[0].lo, 0);
+  EXPECT_EQ(query->ranges[0].hi, 1);
+}
+
+TEST_F(QueryParserTest, NonContiguousValuesRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Age = {20-30, 40-50} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryParserTest, QuotedLabels) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Title = {\"Sw Engg\"} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->ranges[0].attr, 1u);
+  EXPECT_EQ(query->ranges[0].lo, 1);
+}
+
+TEST_F(QueryParserTest, UnknownAttributeRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Bogus = {x} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryParserTest, UnknownValueRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {X} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5;");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, MissingHavingRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M}");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, MissingOneThresholdRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} HAVING minsupport = 0.5 AND "
+                          "minsupport = 0.6");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, MalformedThresholdRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} HAVING minsupport = abc AND "
+                          "minconfidence = 0.5");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, TrailingGarbageRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} HAVING minsupport = 0.5 AND "
+                          "minconfidence = 0.5; bogus");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, UnterminatedStringRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Title = {\"Sw Engg} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(QueryParserTest, ShortThresholdAliases) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} HAVING minsupp = 0.5 AND "
+                          "minconf = 0.7");
+  ASSERT_TRUE(query.ok());
+  EXPECT_DOUBLE_EQ(query->minsupp, 0.5);
+  EXPECT_DOUBLE_EQ(query->minconf, 0.7);
+}
+
+TEST_F(QueryParserTest, ParsedQueryValidates) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Location = {Boston, SFO} "
+                          "HAVING minsupport = 0.4 AND minconfidence = 0.6");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->Validate(schema()).ok());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "data/salary_dataset.h"
+#include "plans/query.h"
+
+namespace colarm {
+namespace {
+
+TEST(QueryTest, ToRectDefaultsToFullDomain) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  Rect box = query.ToRect(data.schema());
+  EXPECT_EQ(box, Rect::FullDomain(data.schema()));
+}
+
+TEST(QueryTest, ToRectAppliesRanges) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}, {3, 1, 1}};  // Seattle, F
+  Rect box = query.ToRect(data.schema());
+  EXPECT_EQ(box.lo(2), 2);
+  EXPECT_EQ(box.hi(2), 2);
+  EXPECT_EQ(box.lo(3), 1);
+  EXPECT_EQ(box.hi(3), 1);
+  EXPECT_EQ(box.lo(0), 0);
+  EXPECT_EQ(box.hi(0), 3);  // unconstrained
+}
+
+TEST(QueryTest, ItemAttrMaskDefaultsToAll) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  auto mask = query.ItemAttrMask(data.schema());
+  EXPECT_EQ(mask.size(), 6u);
+  for (bool allowed : mask) EXPECT_TRUE(allowed);
+}
+
+TEST(QueryTest, ItemAttrMaskRestricts) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.item_attrs = {4, 5};
+  auto mask = query.ItemAttrMask(data.schema());
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[4]);
+  EXPECT_TRUE(mask[5]);
+}
+
+TEST(QueryTest, ValidateAcceptsGoodQuery) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.ranges = {{2, 0, 2}};
+  query.item_attrs = {4, 5};
+  query.minsupp = 0.5;
+  query.minconf = 0.9;
+  EXPECT_TRUE(query.Validate(data.schema()).ok());
+}
+
+TEST(QueryTest, ValidateRejectsBadRanges) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+
+  query.ranges = {{99, 0, 0}};
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+
+  query.ranges = {{2, 2, 1}};  // inverted
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+
+  query.ranges = {{2, 0, 9}};  // beyond domain
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+
+  query.ranges = {{2, 0, 1}, {2, 1, 2}};  // duplicate attribute
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+}
+
+TEST(QueryTest, ValidateRejectsBadItemAttrs) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.item_attrs = {9};
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+  query.item_attrs = {4, 4};
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+}
+
+TEST(QueryTest, ValidateRejectsBadThresholds) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.minsupp = 0.0;
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+  query.minsupp = 0.5;
+  query.minconf = 1.2;
+  EXPECT_FALSE(query.Validate(data.schema()).ok());
+}
+
+TEST(QueryTest, ToStringReadable) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}};
+  query.item_attrs = {4, 5};
+  query.minsupp = 0.75;
+  query.minconf = 0.9;
+  std::string text = query.ToString(data.schema());
+  EXPECT_NE(text.find("Location=[Seattle..Seattle]"), std::string::npos);
+  EXPECT_NE(text.find("Age"), std::string::npos);
+  EXPECT_NE(text.find("minsupport=0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/recommender.h"
+#include "data/synthetic.h"
+#include "plans/plans.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+// Dataset with one strong planted pattern in regions 0..4 of 40.
+struct Planted {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<MipIndex> index;
+
+  static Planted Make() {
+    SyntheticConfig config;
+    config.seed = 555;
+    config.num_records = 3000;
+    config.num_attributes = 8;
+    config.values_per_attribute = 4;
+    config.region_domain = 40;
+    config.dominant_prob = 0.9;
+    config.group_coherence = 0.0;
+    config.noise = 0.0;
+    config.local_patterns = {{0, 4, {3, 4}, 2, 0.95}};
+    Planted p;
+    p.data = std::make_unique<Dataset>(GenerateSynthetic(config).value());
+    auto built = MipIndex::Build(*p.data, {.primary_support = 0.05});
+    EXPECT_TRUE(built.ok());
+    p.index = std::make_unique<MipIndex>(std::move(built.value()));
+    return p;
+  }
+};
+
+TEST(RecommenderTest, TopSuggestionCoversPlantedRegion) {
+  Planted p = Planted::Make();
+  ParameterRecommender recommender(*p.index);
+  auto suggestions = recommender.Suggest();
+  ASSERT_FALSE(suggestions.empty());
+
+  const RegionSuggestion& top = suggestions.front();
+  ASSERT_EQ(top.query.ranges.size(), 1u);
+  EXPECT_EQ(top.query.ranges[0].attr, 0u);  // the region attribute
+  // The suggested window must overlap the planted regions 0..4.
+  EXPECT_LE(top.query.ranges[0].lo, 4);
+  EXPECT_GT(top.fresh_itemsets, 0u);
+  EXPECT_GT(top.freshness, 0.0);
+  EXPECT_FALSE(top.ToString(p.data->schema()).empty());
+}
+
+TEST(RecommenderTest, SuggestionsActuallyYieldFreshRules) {
+  Planted p = Planted::Make();
+  ParameterRecommender recommender(*p.index);
+  auto suggestions = recommender.Suggest();
+  ASSERT_FALSE(suggestions.empty());
+  // Executing the top suggestion produces rules whose itemsets are
+  // globally infrequent at the suggested threshold.
+  const RegionSuggestion& top = suggestions.front();
+  auto result = ExecutePlan(PlanKind::kSSEUV, *p.index, top.query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->rules.rules.empty());
+  const uint32_t m = p.data->num_records();
+  bool any_fresh = false;
+  for (const Rule& rule : result->rules.rules) {
+    Itemset itemset = ItemsetUnion(rule.antecedent, rule.consequent);
+    uint32_t global = p.index->GlobalCount(itemset);
+    if (static_cast<double>(global) / m < top.query.minsupp) any_fresh = true;
+  }
+  EXPECT_TRUE(any_fresh);
+}
+
+TEST(RecommenderTest, ScoresAreSortedDescending) {
+  Planted p = Planted::Make();
+  ParameterRecommender recommender(*p.index);
+  RecommenderOptions options;
+  options.max_suggestions = 50;
+  auto suggestions = recommender.Suggest(options);
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i - 1].score, suggestions[i].score);
+  }
+}
+
+TEST(RecommenderTest, RespectsMaxSuggestions) {
+  Planted p = Planted::Make();
+  ParameterRecommender recommender(*p.index);
+  RecommenderOptions options;
+  options.max_suggestions = 2;
+  auto suggestions = recommender.Suggest(options);
+  EXPECT_LE(suggestions.size(), 2u);
+}
+
+TEST(RecommenderTest, NoPatternsMeansWeakOrNoSuggestions) {
+  // Pattern-free uniform-ish data: any suggestion must carry a much lower
+  // score than the planted case.
+  SyntheticConfig config;
+  config.seed = 556;
+  config.num_records = 2000;
+  config.num_attributes = 8;
+  config.values_per_attribute = 4;
+  config.region_domain = 40;
+  config.dominant_prob = 0.9;
+  config.group_coherence = 0.0;
+  config.noise = 0.0;
+  config.local_patterns.clear();
+  auto data = std::make_unique<Dataset>(GenerateSynthetic(config).value());
+  auto index = MipIndex::Build(*data, {.primary_support = 0.05});
+  ASSERT_TRUE(index.ok());
+  ParameterRecommender flat(*index);
+  auto flat_suggestions = flat.Suggest();
+
+  Planted p = Planted::Make();
+  auto planted_suggestions = ParameterRecommender(*p.index).Suggest();
+  ASSERT_FALSE(planted_suggestions.empty());
+  if (!flat_suggestions.empty()) {
+    EXPECT_LT(flat_suggestions.front().score,
+              planted_suggestions.front().score);
+  }
+}
+
+TEST(RecommenderTest, EmptyGridGivesNothing) {
+  Planted p = Planted::Make();
+  RecommenderOptions options;
+  options.minsupp_grid.clear();
+  EXPECT_TRUE(ParameterRecommender(*p.index).Suggest(options).empty());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "data/salary_dataset.h"
+#include "mining/rule_generator.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+std::vector<Tid> AllTids(const Dataset& data) {
+  std::vector<Tid> tids(data.num_records());
+  for (Tid t = 0; t < data.num_records(); ++t) tids[t] = t;
+  return tids;
+}
+
+TEST(RuleTest, SupportAndConfidence) {
+  Rule rule{{1}, {2}, 3, 4, 10};
+  EXPECT_DOUBLE_EQ(rule.support(), 0.3);
+  EXPECT_DOUBLE_EQ(rule.confidence(), 0.75);
+}
+
+TEST(RuleTest, DegenerateCountsAreSafe) {
+  Rule rule{{1}, {2}, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(rule.support(), 0.0);
+  EXPECT_DOUBLE_EQ(rule.confidence(), 0.0);
+}
+
+TEST(RuleSetTest, SameAsIgnoresOrder) {
+  Rule a{{1}, {2}, 3, 4, 10};
+  Rule b{{2}, {1}, 3, 3, 10};
+  RuleSet x{{a, b}};
+  RuleSet y{{b, a}};
+  EXPECT_TRUE(x.SameAs(y));
+}
+
+TEST(RuleSetTest, SameAsDetectsCountDifferences) {
+  Rule a{{1}, {2}, 3, 4, 10};
+  Rule b{{1}, {2}, 3, 5, 10};
+  EXPECT_FALSE(RuleSet{{a}}.SameAs(RuleSet{{b}}));
+  EXPECT_FALSE(RuleSet{{a}}.SameAs(RuleSet{}));
+}
+
+TEST(RuleGeneratorTest, GeneratesAllConfidentPartitions) {
+  Dataset data = MakeSalaryDataset();
+  const Schema& schema = data.schema();
+  // (Age=20-30, Salary=90K-120K): count 5, Age count 6, Salary count 8.
+  Itemset itemset = {schema.ItemOf(4, 0), schema.ItemOf(5, 2)};
+  LocalSubsetCounter counter(data, itemset, AllTids(data));
+  RuleSet rules;
+  RuleGenStats stats;
+  GenerateRulesForItemset(counter, 0.5, RuleGenOptions{}, &rules, &stats);
+  ASSERT_EQ(rules.rules.size(), 2u);
+  rules.Canonicalize();
+  // Age => Salary: 5/6; Salary => Age: 5/8.
+  EXPECT_EQ(rules.rules[0].antecedent, (Itemset{schema.ItemOf(4, 0)}));
+  EXPECT_EQ(rules.rules[0].antecedent_count, 6u);
+  EXPECT_EQ(rules.rules[1].antecedent, (Itemset{schema.ItemOf(5, 2)}));
+  EXPECT_EQ(rules.rules[1].antecedent_count, 8u);
+  EXPECT_EQ(stats.rules_considered, 2u);
+  EXPECT_EQ(stats.rules_emitted, 2u);
+}
+
+TEST(RuleGeneratorTest, MinconfFilters) {
+  Dataset data = MakeSalaryDataset();
+  const Schema& schema = data.schema();
+  Itemset itemset = {schema.ItemOf(4, 0), schema.ItemOf(5, 2)};
+  LocalSubsetCounter counter(data, itemset, AllTids(data));
+  RuleSet rules;
+  RuleGenStats stats;
+  // 5/6 = 0.833, 5/7 = 0.714: only the first passes at 0.8.
+  GenerateRulesForItemset(counter, 0.8, RuleGenOptions{}, &rules, &stats);
+  ASSERT_EQ(rules.rules.size(), 1u);
+  EXPECT_EQ(rules.rules[0].antecedent, (Itemset{schema.ItemOf(4, 0)}));
+}
+
+TEST(RuleGeneratorTest, ExactMinconfBoundaryIncluded) {
+  Dataset data = MakeSalaryDataset();
+  const Schema& schema = data.schema();
+  Itemset itemset = {schema.ItemOf(4, 0), schema.ItemOf(5, 2)};
+  LocalSubsetCounter counter(data, itemset, AllTids(data));
+  RuleSet rules;
+  RuleGenStats stats;
+  GenerateRulesForItemset(counter, 5.0 / 6.0, RuleGenOptions{}, &rules,
+                          &stats);
+  EXPECT_EQ(rules.rules.size(), 1u);  // 5/6 meets minconf exactly
+}
+
+TEST(RuleGeneratorTest, SingletonItemsetYieldsNoRules) {
+  Dataset data = MakeSalaryDataset();
+  LocalSubsetCounter counter(data, {data.schema().ItemOf(4, 0)},
+                             AllTids(data));
+  RuleSet rules;
+  RuleGenStats stats;
+  GenerateRulesForItemset(counter, 0.1, RuleGenOptions{}, &rules, &stats);
+  EXPECT_TRUE(rules.rules.empty());
+}
+
+TEST(RuleGeneratorTest, ThreeItemPartitionCount) {
+  Dataset data = RandomDataset(17, 100, 4, 2);
+  const Schema& schema = data.schema();
+  Itemset itemset = {schema.ItemOf(0, 0), schema.ItemOf(1, 0),
+                     schema.ItemOf(2, 0)};
+  LocalSubsetCounter counter(data, itemset, AllTids(data));
+  RuleSet rules;
+  RuleGenStats stats;
+  GenerateRulesForItemset(counter, 0.0001, RuleGenOptions{}, &rules, &stats);
+  EXPECT_EQ(stats.rules_considered, 6u);  // 2^3 - 2 partitions
+}
+
+TEST(RuleGeneratorTest, LengthCapSkips) {
+  Dataset data = RandomDataset(18, 20, 6, 2);
+  const Schema& schema = data.schema();
+  Itemset itemset;
+  for (AttrId a = 0; a < 6; ++a) itemset.push_back(schema.ItemOf(a, 0));
+  LocalSubsetCounter counter(data, itemset, AllTids(data));
+  RuleGenOptions options;
+  options.max_itemset_length = 4;
+  RuleSet rules;
+  RuleGenStats stats;
+  GenerateRulesForItemset(counter, 0.1, options, &rules, &stats);
+  EXPECT_TRUE(rules.rules.empty());
+  EXPECT_EQ(stats.itemsets_skipped, 1u);
+}
+
+TEST(RuleGeneratorTest, AntecedentConsequentDisjointAndCoverItemset) {
+  Dataset data = RandomDataset(19, 80, 5, 2);
+  const Schema& schema = data.schema();
+  Itemset itemset = {schema.ItemOf(0, 0), schema.ItemOf(2, 0),
+                     schema.ItemOf(4, 0)};
+  LocalSubsetCounter counter(data, itemset, AllTids(data));
+  RuleSet rules;
+  RuleGenStats stats;
+  GenerateRulesForItemset(counter, 0.0001, RuleGenOptions{}, &rules, &stats);
+  for (const Rule& rule : rules.rules) {
+    EXPECT_TRUE(ItemsetDisjoint(rule.antecedent, rule.consequent));
+    EXPECT_EQ(ItemsetUnion(rule.antecedent, rule.consequent), itemset);
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+  }
+}
+
+}  // namespace
+}  // namespace colarm

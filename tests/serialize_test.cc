@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "core/engine.h"
+#include "mip/serialize.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesEveryMip) {
+  auto data = std::make_unique<Dataset>(RandomDataset(1, 150, 5, 4));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.2});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("roundtrip.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+
+  auto loaded = LoadMipIndex(*data, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_mips(), built->num_mips());
+  EXPECT_EQ(loaded->primary_count(), built->primary_count());
+  for (uint32_t id = 0; id < built->num_mips(); ++id) {
+    EXPECT_EQ(loaded->mip(id).items, built->mip(id).items);
+    EXPECT_EQ(loaded->mip(id).global_count, built->mip(id).global_count);
+    EXPECT_EQ(loaded->mip(id).bbox, built->mip(id).bbox);
+  }
+  EXPECT_TRUE(loaded->rtree().CheckInvariants());
+  EXPECT_EQ(loaded->ittree().size(), built->ittree().size());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadedIndexAnswersQueriesIdentically) {
+  auto data = std::make_unique<Dataset>(RandomDataset(2, 200, 5, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.2});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("queries.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  auto loaded = LoadMipIndex(*data, path);
+  ASSERT_TRUE(loaded.ok());
+
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 1}};
+  query.minsupp = 0.4;
+  query.minconf = 0.6;
+  for (PlanKind kind : kAllPlans) {
+    auto a = ExecutePlan(kind, *built, query);
+    auto b = ExecutePlan(kind, *loaded, query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(a->rules.SameAs(b->rules)) << PlanKindName(kind);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWrongDataset) {
+  auto data = std::make_unique<Dataset>(RandomDataset(3, 100, 4, 3));
+  auto other = std::make_unique<Dataset>(RandomDataset(4, 100, 4, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("wrong_dataset.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  auto loaded = LoadMipIndex(*other, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageAndTruncation) {
+  auto data = std::make_unique<Dataset>(RandomDataset(5, 80, 4, 3));
+  std::string path = TempPath("garbage.clrm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not an index";
+  }
+  EXPECT_FALSE(LoadMipIndex(*data, path).ok());
+
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_FALSE(LoadMipIndex(*data, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  auto data = std::make_unique<Dataset>(RandomDataset(6, 50, 3, 2));
+  auto loaded = LoadMipIndex(*data, TempPath("does_not_exist.clrm"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, FingerprintSensitivity) {
+  Dataset a = RandomDataset(7, 60, 4, 3);
+  Dataset b = RandomDataset(7, 60, 4, 3);
+  EXPECT_EQ(DatasetFingerprint(a), DatasetFingerprint(b));  // deterministic
+  Dataset c = RandomDataset(8, 60, 4, 3);
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(c));
+  Dataset d = RandomDataset(7, 61, 4, 3);
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(d));
+}
+
+TEST(SerializeTest, EngineIndexCache) {
+  auto data = std::make_unique<Dataset>(RandomDataset(9, 150, 5, 3));
+  std::string path = TempPath("engine_cache.clrm");
+  std::remove(path.c_str());
+
+  EngineOptions options;
+  options.index.primary_support = 0.25;
+  options.calibrate = false;
+  options.index_cache_path = path;
+
+  // First build mines and writes the cache.
+  auto first = Engine::Build(*data, options);
+  ASSERT_TRUE(first.ok());
+  std::ifstream probe(path, std::ios::binary);
+  EXPECT_TRUE(probe.good());
+  probe.close();
+
+  // Second build loads it; results must be identical.
+  auto second = Engine::Build(*data, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->index().num_mips(), (*first)->index().num_mips());
+
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 0}};
+  query.minsupp = 0.4;
+  query.minconf = 0.6;
+  auto ra = (*first)->Execute(query);
+  auto rb = (*second)->Execute(query);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(ra->rules.SameAs(rb->rules));
+
+  // A different primary support must bypass the stale cache.
+  options.index.primary_support = 0.5;
+  auto third = Engine::Build(*data, options);
+  ASSERT_TRUE(third.ok());
+  EXPECT_LE((*third)->index().num_mips(), (*first)->index().num_mips());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "data/histogram.h"
+#include "data/synthetic.h"
+
+namespace colarm {
+namespace {
+
+TEST(SyntheticTest, Deterministic) {
+  SyntheticConfig config;
+  config.num_records = 500;
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_records(), b->num_records());
+  for (Tid t = 0; t < a->num_records(); ++t) {
+    for (AttrId at = 0; at < a->num_attributes(); ++at) {
+      ASSERT_EQ(a->Value(t, at), b->Value(t, at));
+    }
+  }
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticConfig config;
+  config.num_records = 500;
+  auto a = GenerateSynthetic(config);
+  config.seed += 1;
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int diffs = 0;
+  for (Tid t = 0; t < a->num_records(); ++t) {
+    for (AttrId at = 0; at < a->num_attributes(); ++at) {
+      if (a->Value(t, at) != b->Value(t, at)) ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  SyntheticConfig config;
+  config.num_records = 321;
+  config.num_attributes = 7;
+  config.values_per_attribute = 5;
+  config.region_domain = 13;
+  auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_records(), 321u);
+  EXPECT_EQ(data->num_attributes(), 7u);
+  EXPECT_EQ(data->schema().attribute(0).domain_size(), 13u);
+  EXPECT_EQ(data->schema().attribute(3).domain_size(), 5u);
+}
+
+TEST(SyntheticTest, DominantValueDominates) {
+  SyntheticConfig config;
+  config.num_records = 3000;
+  config.num_modes = 1;
+  config.dominant_prob = 0.9;
+  config.noise = 0.0;
+  config.local_patterns.clear();
+  auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  ValueHistogram hist(*data, 2);
+  // Mode-0 dominant value is value 0; it must clearly dominate.
+  EXPECT_GT(hist.Selectivity(0, 0), 0.6);
+}
+
+TEST(SyntheticTest, RegionRoughlyUniform) {
+  SyntheticConfig config;
+  config.num_records = 5000;
+  config.region_domain = 10;
+  auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  ValueHistogram hist(*data, 0);
+  for (ValueId v = 0; v < 10; ++v) {
+    EXPECT_NEAR(hist.Selectivity(v, v), 0.1, 0.03);
+  }
+}
+
+TEST(SyntheticTest, LocalPatternIsLocallyDominantGloballyRare) {
+  SyntheticConfig config;
+  config.num_records = 6000;
+  config.region_domain = 20;
+  config.dominant_prob = 0.9;
+  config.group_coherence = 0.0;
+  config.noise = 0.0;
+  config.local_patterns = {{0, 1, {4}, 3, 0.95}};
+  auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  uint32_t in_region = 0;
+  uint32_t in_region_with_pattern = 0;
+  uint32_t global_with_pattern = 0;
+  for (Tid t = 0; t < data->num_records(); ++t) {
+    bool pattern = data->Value(t, 4) == 3;
+    if (pattern) ++global_with_pattern;
+    if (data->Value(t, 0) <= 1) {
+      ++in_region;
+      if (pattern) ++in_region_with_pattern;
+    }
+  }
+  ASSERT_GT(in_region, 0u);
+  double local_frac =
+      static_cast<double>(in_region_with_pattern) / in_region;
+  double global_frac =
+      static_cast<double>(global_with_pattern) / data->num_records();
+  EXPECT_GT(local_frac, 0.85);
+  EXPECT_LT(global_frac, 0.25);
+}
+
+TEST(SyntheticTest, RejectsBadConfigs) {
+  SyntheticConfig config;
+  config.num_records = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SyntheticConfig();
+  config.num_attributes = 1;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SyntheticConfig();
+  config.local_patterns = {{5, 2, {1}, 0, 0.5}};  // inverted region
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SyntheticConfig();
+  config.local_patterns = {{0, 1, {0}, 0, 0.5}};  // region attr in pattern
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+
+  config = SyntheticConfig();
+  config.local_patterns = {{0, 1, {1}, 99, 0.5}};  // value out of domain
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(SyntheticTest, PresetsGenerate) {
+  for (auto config : {ChessLikeConfig(0.05), MushroomLikeConfig(0.05),
+                      PumsbLikeConfig(0.01)}) {
+    auto data = GenerateSynthetic(config);
+    ASSERT_TRUE(data.ok()) << config.name;
+    EXPECT_GE(data->num_records(), 64u) << config.name;
+  }
+}
+
+}  // namespace
+}  // namespace colarm

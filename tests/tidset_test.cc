@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mining/tidset.h"
+
+namespace colarm {
+namespace {
+
+TEST(TidsetTest, Intersect) {
+  EXPECT_EQ(TidsetIntersect(Tidset{1, 3, 5, 7}, Tidset{2, 3, 7, 9}),
+            (Tidset{3, 7}));
+  EXPECT_EQ(TidsetIntersect(Tidset{}, Tidset{1}), Tidset{});
+  EXPECT_EQ(TidsetIntersect(Tidset{1, 2}, Tidset{1, 2}), (Tidset{1, 2}));
+}
+
+TEST(TidsetTest, IntersectIntoReusesBuffer) {
+  Tidset out = {99, 98};
+  TidsetIntersectInto(Tidset{1, 2, 3}, Tidset{2, 3, 4}, &out);
+  EXPECT_EQ(out, (Tidset{2, 3}));
+}
+
+TEST(TidsetTest, IntersectSizeMatchesIntersect) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tidset a;
+    Tidset b;
+    for (Tid t = 0; t < 200; ++t) {
+      if (rng.Bernoulli(0.3)) a.push_back(t);
+      if (rng.Bernoulli(0.3)) b.push_back(t);
+    }
+    EXPECT_EQ(TidsetIntersectSize(a, b), TidsetIntersect(a, b).size());
+  }
+}
+
+TEST(TidsetTest, Subset) {
+  EXPECT_TRUE(TidsetIsSubset(Tidset{}, Tidset{1}));
+  EXPECT_TRUE(TidsetIsSubset(Tidset{2, 4}, Tidset{1, 2, 3, 4}));
+  EXPECT_FALSE(TidsetIsSubset(Tidset{2, 5}, Tidset{1, 2, 3, 4}));
+}
+
+TEST(TidsetTest, Sum) {
+  EXPECT_EQ(TidsetSum(Tidset{}), 0u);
+  EXPECT_EQ(TidsetSum(Tidset{1, 2, 3}), 6u);
+}
+
+}  // namespace
+}  // namespace colarm

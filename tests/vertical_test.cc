@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "data/salary_dataset.h"
+#include "mining/vertical.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+TEST(VerticalViewTest, TidsetsPartitionEachAttribute) {
+  Dataset data = RandomDataset(1, 120, 4, 3);
+  VerticalView vertical(data);
+  EXPECT_EQ(vertical.num_items(), data.schema().num_items());
+  EXPECT_EQ(vertical.num_records(), data.num_records());
+  // Per attribute, the item tidsets partition all records.
+  for (AttrId a = 0; a < data.num_attributes(); ++a) {
+    size_t total = 0;
+    for (ValueId v = 0; v < data.schema().attribute(a).domain_size(); ++v) {
+      total += vertical.tidset(data.schema().ItemOf(a, v)).size();
+    }
+    EXPECT_EQ(total, data.num_records());
+  }
+}
+
+TEST(VerticalViewTest, TidsetsAreSortedAndExact) {
+  Dataset data = RandomDataset(2, 80, 3, 3);
+  VerticalView vertical(data);
+  for (ItemId item = 0; item < vertical.num_items(); ++item) {
+    const Tidset& tids = vertical.tidset(item);
+    EXPECT_TRUE(std::is_sorted(tids.begin(), tids.end()));
+    for (Tid t : tids) {
+      EXPECT_TRUE(data.ContainsItem(t, item));
+    }
+    EXPECT_EQ(vertical.support(item), tids.size());
+  }
+}
+
+TEST(VerticalViewTest, SubsetViewKeepsOriginalTids) {
+  Dataset data = MakeSalaryDataset();
+  std::vector<Tid> subset = {7, 8, 9, 10};  // Seattle females
+  VerticalView vertical(data, subset);
+  EXPECT_EQ(vertical.num_records(), 4u);
+  const Schema& schema = data.schema();
+  // Gender=F holds for all four subset records.
+  EXPECT_EQ(vertical.tidset(schema.ItemOf(3, 1)), (Tidset{7, 8, 9, 10}));
+  // Age=30-40 holds for records 7, 8, 9.
+  EXPECT_EQ(vertical.tidset(schema.ItemOf(4, 1)), (Tidset{7, 8, 9}));
+  // Location=Boston never occurs inside the subset.
+  EXPECT_TRUE(vertical.tidset(schema.ItemOf(2, 0)).empty());
+}
+
+TEST(VerticalViewTest, EmptySubset) {
+  Dataset data = MakeSalaryDataset();
+  VerticalView vertical(data, std::span<const Tid>{});
+  EXPECT_EQ(vertical.num_records(), 0u);
+  for (ItemId item = 0; item < vertical.num_items(); ++item) {
+    EXPECT_TRUE(vertical.tidset(item).empty());
+  }
+}
+
+}  // namespace
+}  // namespace colarm
