@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcolarm_bench_harness.a"
+  "../lib/libcolarm_bench_harness.pdb"
+  "CMakeFiles/colarm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/colarm_bench_harness.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colarm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

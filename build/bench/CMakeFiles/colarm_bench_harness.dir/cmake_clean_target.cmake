@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcolarm_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mushroom_plans.dir/fig10_mushroom_plans.cc.o"
+  "CMakeFiles/fig10_mushroom_plans.dir/fig10_mushroom_plans.cc.o.d"
+  "fig10_mushroom_plans"
+  "fig10_mushroom_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mushroom_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

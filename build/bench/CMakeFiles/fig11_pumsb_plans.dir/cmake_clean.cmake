@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pumsb_plans.dir/fig11_pumsb_plans.cc.o"
+  "CMakeFiles/fig11_pumsb_plans.dir/fig11_pumsb_plans.cc.o.d"
+  "fig11_pumsb_plans"
+  "fig11_pumsb_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pumsb_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gains.dir/fig12_gains.cc.o"
+  "CMakeFiles/fig12_gains.dir/fig12_gains.cc.o.d"
+  "fig12_gains"
+  "fig12_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

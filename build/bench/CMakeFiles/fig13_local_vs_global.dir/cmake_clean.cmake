@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_local_vs_global.dir/fig13_local_vs_global.cc.o"
+  "CMakeFiles/fig13_local_vs_global.dir/fig13_local_vs_global.cc.o.d"
+  "fig13_local_vs_global"
+  "fig13_local_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cfi_counts.dir/fig8_cfi_counts.cc.o"
+  "CMakeFiles/fig8_cfi_counts.dir/fig8_cfi_counts.cc.o.d"
+  "fig8_cfi_counts"
+  "fig8_cfi_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cfi_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

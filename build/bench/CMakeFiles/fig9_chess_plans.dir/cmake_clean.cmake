@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_chess_plans.dir/fig9_chess_plans.cc.o"
+  "CMakeFiles/fig9_chess_plans.dir/fig9_chess_plans.cc.o.d"
+  "fig9_chess_plans"
+  "fig9_chess_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_chess_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mining.dir/micro_mining.cc.o"
+  "CMakeFiles/micro_mining.dir/micro_mining.cc.o.d"
+  "micro_mining"
+  "micro_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

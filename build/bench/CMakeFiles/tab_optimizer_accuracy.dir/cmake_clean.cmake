@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_optimizer_accuracy.dir/tab_optimizer_accuracy.cc.o"
+  "CMakeFiles/tab_optimizer_accuracy.dir/tab_optimizer_accuracy.cc.o.d"
+  "tab_optimizer_accuracy"
+  "tab_optimizer_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_optimizer_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

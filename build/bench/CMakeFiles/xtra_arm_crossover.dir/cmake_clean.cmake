@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtra_arm_crossover.dir/xtra_arm_crossover.cc.o"
+  "CMakeFiles/xtra_arm_crossover.dir/xtra_arm_crossover.cc.o.d"
+  "xtra_arm_crossover"
+  "xtra_arm_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtra_arm_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_console.dir/query_console.cpp.o"
+  "CMakeFiles/query_console.dir/query_console.cpp.o.d"
+  "query_console"
+  "query_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

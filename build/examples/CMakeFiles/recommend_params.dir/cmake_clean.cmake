@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_params.dir/recommend_params.cpp.o"
+  "CMakeFiles/recommend_params.dir/recommend_params.cpp.o.d"
+  "recommend_params"
+  "recommend_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_trends.dir/regional_trends.cpp.o"
+  "CMakeFiles/regional_trends.dir/regional_trends.cpp.o.d"
+  "regional_trends"
+  "regional_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_paradox.dir/salary_paradox.cpp.o"
+  "CMakeFiles/salary_paradox.dir/salary_paradox.cpp.o.d"
+  "salary_paradox"
+  "salary_paradox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_paradox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for salary_paradox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/colarm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/colarm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/colarm.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/colarm.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/CMakeFiles/colarm.dir/core/batch.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/batch.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/colarm.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/colarm.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/CMakeFiles/colarm.dir/core/export.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/export.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/colarm.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/parameter_space.cc" "src/CMakeFiles/colarm.dir/core/parameter_space.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/parameter_space.cc.o.d"
+  "/root/repo/src/core/query_parser.cc" "src/CMakeFiles/colarm.dir/core/query_parser.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/query_parser.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/CMakeFiles/colarm.dir/core/recommender.cc.o" "gcc" "src/CMakeFiles/colarm.dir/core/recommender.cc.o.d"
+  "/root/repo/src/cost/calibration.cc" "src/CMakeFiles/colarm.dir/cost/calibration.cc.o" "gcc" "src/CMakeFiles/colarm.dir/cost/calibration.cc.o.d"
+  "/root/repo/src/cost/cardinality.cc" "src/CMakeFiles/colarm.dir/cost/cardinality.cc.o" "gcc" "src/CMakeFiles/colarm.dir/cost/cardinality.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/colarm.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/colarm.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/data/csv_reader.cc" "src/CMakeFiles/colarm.dir/data/csv_reader.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/csv_reader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/colarm.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/discretizer.cc" "src/CMakeFiles/colarm.dir/data/discretizer.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/discretizer.cc.o.d"
+  "/root/repo/src/data/histogram.cc" "src/CMakeFiles/colarm.dir/data/histogram.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/histogram.cc.o.d"
+  "/root/repo/src/data/salary_dataset.cc" "src/CMakeFiles/colarm.dir/data/salary_dataset.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/salary_dataset.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/colarm.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/colarm.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/colarm.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/ittree/ittree.cc" "src/CMakeFiles/colarm.dir/ittree/ittree.cc.o" "gcc" "src/CMakeFiles/colarm.dir/ittree/ittree.cc.o.d"
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/colarm.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/brute_force.cc" "src/CMakeFiles/colarm.dir/mining/brute_force.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/brute_force.cc.o.d"
+  "/root/repo/src/mining/charm.cc" "src/CMakeFiles/colarm.dir/mining/charm.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/charm.cc.o.d"
+  "/root/repo/src/mining/declat.cc" "src/CMakeFiles/colarm.dir/mining/declat.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/declat.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/CMakeFiles/colarm.dir/mining/eclat.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/eclat.cc.o.d"
+  "/root/repo/src/mining/fpgrowth.cc" "src/CMakeFiles/colarm.dir/mining/fpgrowth.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/fpgrowth.cc.o.d"
+  "/root/repo/src/mining/itemset.cc" "src/CMakeFiles/colarm.dir/mining/itemset.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/itemset.cc.o.d"
+  "/root/repo/src/mining/local_counter.cc" "src/CMakeFiles/colarm.dir/mining/local_counter.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/local_counter.cc.o.d"
+  "/root/repo/src/mining/measures.cc" "src/CMakeFiles/colarm.dir/mining/measures.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/measures.cc.o.d"
+  "/root/repo/src/mining/rule.cc" "src/CMakeFiles/colarm.dir/mining/rule.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/rule.cc.o.d"
+  "/root/repo/src/mining/rule_generator.cc" "src/CMakeFiles/colarm.dir/mining/rule_generator.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/rule_generator.cc.o.d"
+  "/root/repo/src/mining/tidset.cc" "src/CMakeFiles/colarm.dir/mining/tidset.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/tidset.cc.o.d"
+  "/root/repo/src/mining/vertical.cc" "src/CMakeFiles/colarm.dir/mining/vertical.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mining/vertical.cc.o.d"
+  "/root/repo/src/mip/index_stats.cc" "src/CMakeFiles/colarm.dir/mip/index_stats.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mip/index_stats.cc.o.d"
+  "/root/repo/src/mip/mip_index.cc" "src/CMakeFiles/colarm.dir/mip/mip_index.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mip/mip_index.cc.o.d"
+  "/root/repo/src/mip/serialize.cc" "src/CMakeFiles/colarm.dir/mip/serialize.cc.o" "gcc" "src/CMakeFiles/colarm.dir/mip/serialize.cc.o.d"
+  "/root/repo/src/plans/focal_subset.cc" "src/CMakeFiles/colarm.dir/plans/focal_subset.cc.o" "gcc" "src/CMakeFiles/colarm.dir/plans/focal_subset.cc.o.d"
+  "/root/repo/src/plans/operators.cc" "src/CMakeFiles/colarm.dir/plans/operators.cc.o" "gcc" "src/CMakeFiles/colarm.dir/plans/operators.cc.o.d"
+  "/root/repo/src/plans/plans.cc" "src/CMakeFiles/colarm.dir/plans/plans.cc.o" "gcc" "src/CMakeFiles/colarm.dir/plans/plans.cc.o.d"
+  "/root/repo/src/plans/query.cc" "src/CMakeFiles/colarm.dir/plans/query.cc.o" "gcc" "src/CMakeFiles/colarm.dir/plans/query.cc.o.d"
+  "/root/repo/src/rtree/bulk_load.cc" "src/CMakeFiles/colarm.dir/rtree/bulk_load.cc.o" "gcc" "src/CMakeFiles/colarm.dir/rtree/bulk_load.cc.o.d"
+  "/root/repo/src/rtree/rect.cc" "src/CMakeFiles/colarm.dir/rtree/rect.cc.o" "gcc" "src/CMakeFiles/colarm.dir/rtree/rect.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/colarm.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/colarm.dir/rtree/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

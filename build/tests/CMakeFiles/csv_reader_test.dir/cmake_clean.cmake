@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_reader_test.dir/csv_reader_test.cc.o"
+  "CMakeFiles/csv_reader_test.dir/csv_reader_test.cc.o.d"
+  "csv_reader_test"
+  "csv_reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

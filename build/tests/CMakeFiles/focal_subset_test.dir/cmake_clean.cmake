@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focal_subset_test.dir/focal_subset_test.cc.o"
+  "CMakeFiles/focal_subset_test.dir/focal_subset_test.cc.o.d"
+  "focal_subset_test"
+  "focal_subset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focal_subset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ittree_test.dir/ittree_test.cc.o"
+  "CMakeFiles/ittree_test.dir/ittree_test.cc.o.d"
+  "ittree_test"
+  "ittree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ittree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_counter_test.dir/local_counter_test.cc.o"
+  "CMakeFiles/local_counter_test.dir/local_counter_test.cc.o.d"
+  "local_counter_test"
+  "local_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

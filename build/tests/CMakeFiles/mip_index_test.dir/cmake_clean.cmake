@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_index_test.dir/mip_index_test.cc.o"
+  "CMakeFiles/mip_index_test.dir/mip_index_test.cc.o.d"
+  "mip_index_test"
+  "mip_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_space_test.dir/parameter_space_test.cc.o"
+  "CMakeFiles/parameter_space_test.dir/parameter_space_test.cc.o.d"
+  "parameter_space_test"
+  "parameter_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_generator_test.dir/rule_generator_test.cc.o"
+  "CMakeFiles/rule_generator_test.dir/rule_generator_test.cc.o.d"
+  "rule_generator_test"
+  "rule_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_dataset_test.dir/salary_dataset_test.cc.o"
+  "CMakeFiles/salary_dataset_test.dir/salary_dataset_test.cc.o.d"
+  "salary_dataset_test"
+  "salary_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

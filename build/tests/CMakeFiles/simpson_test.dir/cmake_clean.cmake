@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpson_test.dir/simpson_test.cc.o"
+  "CMakeFiles/simpson_test.dir/simpson_test.cc.o.d"
+  "simpson_test"
+  "simpson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colarm_cli.dir/colarm_cli.cc.o"
+  "CMakeFiles/colarm_cli.dir/colarm_cli.cc.o.d"
+  "colarm_cli"
+  "colarm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colarm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
