@@ -1,12 +1,15 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include <optional>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "data/histogram.h"
 
 namespace colarm {
@@ -20,7 +23,61 @@ double ScaleFromEnv() {
   return scale;
 }
 
+unsigned ThreadsFromEnv() {
+  const char* env = std::getenv("COLARM_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  unsigned long threads = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<unsigned>(threads);
+}
+
+std::string JsonSinkPath() {
+  const char* env = std::getenv("COLARM_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string("BENCH_plans.json");
+}
+
 namespace {
+
+// Resolved degree of parallelism an engine actually runs with.
+unsigned EngineThreads(const Engine& engine) {
+  return engine.pool() != nullptr
+             ? static_cast<unsigned>(engine.pool()->parallelism())
+             : 1u;
+}
+
+// One JSON line per scenario: everything needed to compare runs across
+// thread counts and scales without scraping the human-readable tables.
+void AppendScenarioJson(const BenchDataset& dataset, const Engine& engine,
+                        double index_build_ms, double dq, double minsupp,
+                        const ScenarioResult& r) {
+  std::string path = JsonSinkPath();
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "BENCH json sink %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return;
+  }
+  std::fprintf(out,
+               "{\"dataset\":\"%s\",\"records\":%u,\"scale\":%g,"
+               "\"num_threads\":%u,\"index_build_ms\":%.3f,"
+               "\"dq\":%g,\"minsupp\":%g,\"minconf\":%g,\"avg_ms\":{",
+               dataset.name.c_str(), dataset.data->num_records(),
+               ScaleFromEnv(), EngineThreads(engine), index_build_ms, dq,
+               minsupp, dataset.minconf);
+  for (size_t i = 0; i < kAllPlans.size(); ++i) {
+    std::fprintf(out, "%s\"%s\":%.4f", i == 0 ? "" : ",",
+                 PlanKindName(kAllPlans[i]), r.avg_ms[i]);
+  }
+  std::fprintf(out,
+               "},\"optimizer_pick\":\"%s\",\"optimizer_pick_ms\":%.4f,"
+               "\"measured_best\":\"%s\",\"measured_best_ms\":%.4f,"
+               "\"rules\":%zu}\n",
+               PlanKindName(r.optimizer_pick), r.optimizer_pick_ms,
+               PlanKindName(r.measured_best), r.measured_best_ms, r.rules);
+  std::fclose(out);
+}
 
 BenchDataset Make(const SyntheticConfig& config, double primary,
                   std::vector<double> minsupps) {
@@ -62,6 +119,7 @@ std::unique_ptr<Engine> BuildEngine(const BenchDataset& dataset) {
   EngineOptions options;
   options.index.primary_support = dataset.primary_support;
   options.calibrate = true;
+  options.num_threads = ThreadsFromEnv();
   auto engine = Engine::Build(*dataset.data, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed: %s\n",
@@ -179,9 +237,13 @@ void RunPlanFigure(const BenchDataset& dataset, const char* figure_title) {
   std::printf("%s — %s analog (m=%u, primary=%g%%, minconf=%g%%)\n",
               figure_title, dataset.name.c_str(), dataset.data->num_records(),
               dataset.primary_support * 100.0, dataset.minconf * 100.0);
+  Timer build_timer;
   auto engine = BuildEngine(dataset);
-  std::printf("MIP-index: %u MIPs, R-tree height %u\n\n",
-              engine->index().num_mips(), engine->index().rtree().height());
+  const double index_build_ms = build_timer.ElapsedMillis();
+  std::printf("MIP-index: %u MIPs, R-tree height %u (built in %.1f ms, %u thread%s)\n\n",
+              engine->index().num_mips(), engine->index().rtree().height(),
+              index_build_ms, EngineThreads(*engine),
+              EngineThreads(*engine) == 1 ? "" : "s");
 
   for (double dq : kDqFractions) {
     std::printf("DQ = %s of D:\n", FractionLabel(dq).c_str());
@@ -191,6 +253,7 @@ void RunPlanFigure(const BenchDataset& dataset, const char* figure_title) {
     for (double minsupp : dataset.minsupps) {
       ScenarioResult r =
           RunScenario(*engine, dq, minsupp, dataset.minconf, /*placements=*/2);
+      AppendScenarioJson(dataset, *engine, index_build_ms, dq, minsupp, r);
       std::printf(
           "  %-8s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f   %s%s\n",
           FractionLabel(minsupp).c_str(), r.avg_ms[0], r.avg_ms[1],

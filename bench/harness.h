@@ -25,6 +25,15 @@ struct BenchDataset {
 /// 1.0). Values < 1 shrink record counts for quick smoke runs.
 double ScaleFromEnv();
 
+/// Worker threads for the engine, read from COLARM_BENCH_THREADS: 0
+/// (default) = hardware concurrency, 1 = the exact sequential path.
+unsigned ThreadsFromEnv();
+
+/// Machine-readable sink for plan-figure runs: one JSON object per line
+/// appended per (dataset, DQ, minsupp) scenario. Path comes from
+/// COLARM_BENCH_JSON (default "BENCH_plans.json"; empty string disables).
+std::string JsonSinkPath();
+
 /// The three analogs of the paper's evaluation datasets (DESIGN.md §4),
 /// at the paper's primary supports: chess 60%, mushroom 5%, PUMSB 80%.
 BenchDataset MakeChess();

@@ -1,0 +1,142 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace colarm {
+
+unsigned ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads - 1);
+  for (unsigned i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelChunks region. Helper tasks hold a
+// shared_ptr, so the region call may return (all chunks done) while stale
+// helpers are still queued behind other work; they wake up, fail to claim
+// a chunk, and drop their reference without ever touching `fn` — which is
+// only valid while the caller is inside ParallelChunks.
+struct ChunkRegion {
+  size_t n = 0;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t next = 0;     // next chunk index to hand out
+  size_t claimed = 0;  // chunks handed out (each will reach `done`)
+  size_t done = 0;     // chunks whose body finished (or threw)
+  bool cancelled = false;
+  std::exception_ptr error;
+
+  bool Claim(size_t* chunk) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (cancelled || next >= num_chunks) return false;
+    *chunk = next++;
+    ++claimed;
+    return true;
+  }
+
+  // All handed-out chunks finished and no further claims can succeed.
+  bool Drained() const {
+    return done == claimed && (cancelled || next >= num_chunks);
+  }
+
+  void RunChunks() {
+    size_t chunk;
+    while (Claim(&chunk)) {
+      try {
+        (*fn)(chunk, n * chunk / num_chunks, n * (chunk + 1) / num_chunks);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        cancelled = true;  // abandon unclaimed chunks
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      ++done;
+      if (Drained()) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelChunks(ThreadPool* pool, size_t n, size_t num_chunks,
+                    const std::function<void(size_t chunk, size_t begin,
+                                             size_t end)>& fn) {
+  if (n == 0 || num_chunks == 0) return;
+  num_chunks = std::min(num_chunks, n);
+
+  if (!IsParallel(pool) || num_chunks == 1) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      fn(chunk, n * chunk / num_chunks, n * (chunk + 1) / num_chunks);
+    }
+    return;
+  }
+
+  auto region = std::make_shared<ChunkRegion>();
+  region->n = n;
+  region->num_chunks = num_chunks;
+  region->fn = &fn;
+
+  const size_t helpers =
+      std::min<size_t>(pool->parallelism() - 1, num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([region] { region->RunChunks(); });
+  }
+  region->RunChunks();
+
+  std::unique_lock<std::mutex> lock(region->mutex);
+  region->cv.wait(lock, [&] { return region->Drained(); });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t i)>& fn) {
+  ParallelChunks(pool, n, n, [&fn](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace colarm

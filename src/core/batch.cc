@@ -1,6 +1,8 @@
 #include "core/batch.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "common/timer.h"
 
@@ -55,6 +57,115 @@ Result<BatchResult> BatchExecutor::Execute(
     COLARM_RETURN_IF_ERROR(query.Validate(schema));
   }
 
+  // Resolve the pool: inherit the engine's, run sequentially, or spin up a
+  // dedicated pool for this batch.
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = engine_->pool();
+  if (options.num_threads == 1) {
+    pool = nullptr;
+  } else if (options.num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = own_pool.get();
+  }
+
+  if (!IsParallel(pool)) {
+    COLARM_RETURN_IF_ERROR(SequentialExecute(queries, options, &batch));
+    batch.total_ms = timer.ElapsedMillis();
+    return batch;
+  }
+
+  // Parallel path. Planning stays sequential and cheap: detect duplicates
+  // and group unique queries by focal box, reproducing the sequential
+  // sharing counters exactly (first occurrence executes, every later
+  // query with the same box counts as shared).
+  const size_t n = queries.size();
+  std::vector<size_t> rep(n);  // representative executing each query's work
+  std::vector<size_t> unique;  // indices that actually execute
+  std::map<std::string, size_t> duplicate_of;
+  for (size_t i = 0; i < n; ++i) {
+    rep[i] = i;
+    if (options.reuse_duplicate_results) {
+      auto [it, inserted] = duplicate_of.try_emplace(QueryKey(queries[i]), i);
+      if (!inserted) {
+        rep[i] = it->second;
+        ++batch.duplicates_reused;
+        continue;
+      }
+    }
+    unique.push_back(i);
+  }
+
+  // Distinct focal boxes of the unique queries, each materialized once —
+  // concurrently, since the SELECT scans are independent.
+  std::vector<FocalSubset> boxes;
+  std::vector<const FocalSubset*> shared(n, nullptr);
+  if (options.share_subsets) {
+    std::map<std::string, size_t> box_of;
+    std::vector<Rect> rects;
+    std::vector<size_t> box_index(n, 0);
+    for (size_t i : unique) {
+      Rect box = queries[i].ToRect(schema);
+      std::string key = BoxKey(box);
+      auto [it, inserted] = box_of.try_emplace(std::move(key), rects.size());
+      if (inserted) {
+        rects.push_back(std::move(box));
+      } else {
+        ++batch.subsets_shared;
+      }
+      box_index[i] = it->second;
+    }
+    boxes.resize(rects.size());
+    ParallelFor(pool, rects.size(), [&](size_t b) {
+      boxes[b] = FocalSubset::Materialize(index.dataset(), rects[b]);
+    });
+    for (size_t i : unique) shared[i] = &boxes[box_index[i]];
+  }
+
+  // Unique queries execute concurrently (coarse units, dynamically
+  // claimed); each also passes the pool down so a lone heavy query still
+  // parallelizes its record-level operators. Results land in input slots,
+  // so input order is preserved by construction.
+  std::vector<QueryResult> results(n);
+  Status failure = Status::OK();
+  std::mutex failure_mutex;
+  ParallelFor(pool, unique.size(), [&](size_t u) {
+    const size_t i = unique[u];
+    const LocalizedQuery& query = queries[i];
+    OptimizerDecision decision = engine_->optimizer().Choose(query);
+    PlanKind kind =
+        options.use_optimizer ? decision.chosen : options.forced_plan;
+    PlanExecOptions exec;
+    exec.rulegen = engine_->options().rulegen;
+    exec.arm_miner = engine_->options().arm_miner;
+    exec.shared_subset = shared[i];
+    exec.pool = pool;
+    Result<PlanResult> plan = ExecutePlan(kind, index, query, exec);
+    if (!plan.ok()) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (failure.ok()) failure = plan.status();
+      return;
+    }
+    results[i].rules = std::move(plan->rules);
+    results[i].plan_used = kind;
+    results[i].chosen_by_optimizer = options.use_optimizer;
+    results[i].stats = plan->stats;
+    results[i].decision = decision;
+  });
+  if (!failure.ok()) return failure;
+
+  for (size_t i = 0; i < n; ++i) {
+    batch.results.push_back(rep[i] == i ? std::move(results[i])
+                                        : batch.results[rep[i]]);
+  }
+  batch.total_ms = timer.ElapsedMillis();
+  return batch;
+}
+
+Status BatchExecutor::SequentialExecute(
+    std::span<const LocalizedQuery> queries, const BatchOptions& options,
+    BatchResult* batch) const {
+  const MipIndex& index = engine_->index();
+  const Schema& schema = index.dataset().schema();
   std::map<std::string, size_t> duplicate_of;
   std::map<std::string, FocalSubset> subsets;
 
@@ -63,8 +174,8 @@ Result<BatchResult> BatchExecutor::Execute(
     if (options.reuse_duplicate_results) {
       auto [it, inserted] = duplicate_of.try_emplace(QueryKey(query), i);
       if (!inserted) {
-        batch.results.push_back(batch.results[it->second]);
-        ++batch.duplicates_reused;
+        batch->results.push_back(batch->results[it->second]);
+        ++batch->duplicates_reused;
         continue;
       }
     }
@@ -80,7 +191,7 @@ Result<BatchResult> BatchExecutor::Execute(
                           FocalSubset::Materialize(index.dataset(), box))
                  .first;
       } else {
-        ++batch.subsets_shared;
+        ++batch->subsets_shared;
       }
       shared = &it->second;
     }
@@ -99,11 +210,9 @@ Result<BatchResult> BatchExecutor::Execute(
     result.chosen_by_optimizer = options.use_optimizer;
     result.stats = plan->stats;
     result.decision = decision;
-    batch.results.push_back(std::move(result));
+    batch->results.push_back(std::move(result));
   }
-
-  batch.total_ms = timer.ElapsedMillis();
-  return batch;
+  return Status::OK();
 }
 
 }  // namespace colarm

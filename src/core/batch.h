@@ -18,6 +18,13 @@ struct BatchOptions {
   /// forced plan below is used).
   bool use_optimizer = true;
   PlanKind forced_plan = PlanKind::kSSEUV;
+  /// Degree of parallelism across queries: 0 = use the engine's pool,
+  /// 1 = the exact sequential legacy loop, N > 1 = a dedicated pool of N
+  /// for this batch. Results are byte-identical for any value — unique
+  /// queries execute concurrently, but every result (rules, stats,
+  /// decisions) and the sharing counters match the sequential run, and
+  /// results stay in input order.
+  unsigned num_threads = 0;
 };
 
 struct BatchResult {
@@ -43,6 +50,12 @@ class BatchExecutor {
                               const BatchOptions& options = {}) const;
 
  private:
+  /// The legacy single-threaded loop — the exact reference semantics the
+  /// parallel path must reproduce byte-for-byte.
+  Status SequentialExecute(std::span<const LocalizedQuery> queries,
+                           const BatchOptions& options,
+                           BatchResult* batch) const;
+
   const Engine* engine_;
 };
 

@@ -7,19 +7,20 @@ namespace colarm {
 namespace {
 
 // Loads the cached index when compatible with the requested options;
-// otherwise mines it (and refreshes the cache, best effort).
+// otherwise mines it (and refreshes the cache, best effort). Compatibility
+// compares the *entire* options struct: every field shapes the built index
+// (serialize.cc round-trips them all), so a partial comparison would
+// silently serve an index built with different parameters.
 Result<MipIndex> BuildOrLoadIndex(const Dataset& dataset,
-                                  const EngineOptions& options) {
+                                  const EngineOptions& options,
+                                  ThreadPool* pool) {
   if (!options.index_cache_path.empty()) {
     Result<MipIndex> loaded = LoadMipIndex(dataset, options.index_cache_path);
-    if (loaded.ok() &&
-        loaded->options().primary_support == options.index.primary_support &&
-        loaded->options().rtree.max_entries ==
-            options.index.rtree.max_entries) {
+    if (loaded.ok() && loaded->options() == options.index) {
       return loaded;
     }
   }
-  Result<MipIndex> built = MipIndex::Build(dataset, options.index);
+  Result<MipIndex> built = MipIndex::Build(dataset, options.index, pool);
   if (built.ok() && !options.index_cache_path.empty()) {
     // A failed cache write must not fail the build.
     (void)SaveMipIndex(built.value(), options.index_cache_path);
@@ -31,11 +32,16 @@ Result<MipIndex> BuildOrLoadIndex(const Dataset& dataset,
 
 Result<std::unique_ptr<Engine>> Engine::Build(const Dataset& dataset,
                                               const EngineOptions& options) {
-  Result<MipIndex> index = BuildOrLoadIndex(dataset, options);
-  if (!index.ok()) return index.status();
-
   auto engine = std::unique_ptr<Engine>(new Engine());
   engine->options_ = options;
+  const unsigned threads =
+      options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                               : options.num_threads;
+  if (threads > 1) engine->pool_ = std::make_unique<ThreadPool>(threads);
+
+  Result<MipIndex> index =
+      BuildOrLoadIndex(dataset, options, engine->pool_.get());
+  if (!index.ok()) return index.status();
   engine->index_ = std::make_unique<MipIndex>(std::move(index.value()));
 
   CostConstants constants =
@@ -50,9 +56,11 @@ Result<std::unique_ptr<Engine>> Engine::Build(const Dataset& dataset,
 Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
   COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
   OptimizerDecision decision = optimizer_->Choose(query);
-  Result<PlanResult> plan =
-      ExecutePlan(decision.chosen, *index_, query, options_.rulegen,
-                  /*shared_subset=*/nullptr, options_.arm_miner);
+  PlanExecOptions exec;
+  exec.rulegen = options_.rulegen;
+  exec.arm_miner = options_.arm_miner;
+  exec.pool = pool_.get();
+  Result<PlanResult> plan = ExecutePlan(decision.chosen, *index_, query, exec);
   if (!plan.ok()) return plan.status();
   QueryResult result;
   result.rules = std::move(plan->rules);
@@ -66,9 +74,11 @@ Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
 Result<QueryResult> Engine::ExecuteWithPlan(const LocalizedQuery& query,
                                             PlanKind kind) const {
   COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
-  Result<PlanResult> plan =
-      ExecutePlan(kind, *index_, query, options_.rulegen,
-                  /*shared_subset=*/nullptr, options_.arm_miner);
+  PlanExecOptions exec;
+  exec.rulegen = options_.rulegen;
+  exec.arm_miner = options_.arm_miner;
+  exec.pool = pool_.get();
+  Result<PlanResult> plan = ExecutePlan(kind, *index_, query, exec);
   if (!plan.ok()) return plan.status();
   QueryResult result;
   result.rules = std::move(plan->rules);

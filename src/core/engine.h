@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "core/optimizer.h"
 #include "mip/mip_index.h"
 #include "plans/plans.h"
@@ -24,6 +25,12 @@ struct EngineOptions {
   /// miss, mines it and writes the file — preprocess once across process
   /// lifetimes.
   std::string index_cache_path;
+  /// Degree of parallelism for the offline index build and the online
+  /// record-level operators: 0 = hardware concurrency, 1 = the exact
+  /// single-threaded legacy path (no pool is created). Results and effort
+  /// counters are byte-identical across any value — parallelism only
+  /// changes wall time.
+  unsigned num_threads = 0;
 };
 
 /// Outcome of one query: the localized rules plus which plan ran, why, and
@@ -70,10 +77,14 @@ class Engine {
   const Optimizer& optimizer() const { return *optimizer_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The engine's worker pool; null when num_threads resolved to 1.
+  ThreadPool* pool() const { return pool_.get(); }
+
  private:
   Engine() = default;
 
   EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<MipIndex> index_;
   std::unique_ptr<CardinalityEstimator> cardinality_;
   std::unique_ptr<Optimizer> optimizer_;

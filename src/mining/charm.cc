@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 namespace colarm {
 
@@ -19,12 +20,12 @@ struct CharmNode {
 // implies equal tidsets by downward closure).
 class ClosedSetRegistry {
  public:
-  bool IsSubsumed(const Itemset& items, const Tidset& tids,
+  bool IsSubsumed(const Itemset& items, size_t support,
                   uint64_t tidsum) const {
     auto it = buckets_.find(tidsum);
     if (it == buckets_.end()) return false;
     for (const auto& entry : it->second) {
-      if (entry.support == tids.size() && ItemsetIsSubset(items, entry.items)) {
+      if (entry.support == support && ItemsetIsSubset(items, entry.items)) {
         return true;
       }
     }
@@ -43,17 +44,23 @@ class ClosedSetRegistry {
   std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
 };
 
-class CharmMiner {
+// The CHARM depth-first search, decoupled from the closedness registry: it
+// streams *candidate* closed itemsets (pre-filter) to a callback in a
+// deterministic DFS order. The registry never influences the search, which
+// is what makes branch-parallel mining possible — sequential and parallel
+// callers apply the same filter to the same stream.
+class CharmSearch {
  public:
-  CharmMiner(uint32_t min_count, const ClosedItemsetSink& sink)
-      : min_count_(min_count), sink_(sink) {}
+  using CandidateFn = std::function<void(const Itemset&, const Tidset&)>;
+
+  CharmSearch(uint32_t min_count, CandidateFn fn)
+      : min_count_(min_count), fn_(std::move(fn)) {}
 
   void Run(std::vector<CharmNode> roots) {
     SortBySupport(&roots);
     Extend(&roots);
   }
 
- private:
   static void SortBySupport(std::vector<CharmNode>* klass) {
     std::sort(klass->begin(), klass->end(),
               [](const CharmNode& a, const CharmNode& b) {
@@ -106,36 +113,136 @@ class CharmMiner {
         Extend(&children);
       }
 
-      Emit(x);
+      fn_(x.items, x.tids);
       x.tids.clear();
       x.tids.shrink_to_fit();
     }
   }
 
-  void Emit(const CharmNode& node) {
-    const uint64_t tidsum = TidsetSum(node.tids);
-    if (registry_.IsSubsumed(node.items, node.tids, tidsum)) return;
-    registry_.Add(node.items, node.tids.size(), tidsum);
-    sink_(node.items, node.tids);
-  }
-
+ private:
   const uint32_t min_count_;
-  const ClosedItemsetSink& sink_;
-  ClosedSetRegistry registry_;
+  const CandidateFn fn_;
 };
 
-}  // namespace
-
-void MineCharm(const VerticalView& vertical, uint32_t min_count,
-               const ClosedItemsetSink& sink) {
+std::vector<CharmNode> FrequentRoots(const VerticalView& vertical,
+                                     uint32_t min_count) {
   std::vector<CharmNode> roots;
   for (ItemId i = 0; i < vertical.num_items(); ++i) {
     if (vertical.support(i) >= min_count) {
       roots.push_back({{i}, vertical.tidset(i), false});
     }
   }
-  CharmMiner miner(min_count, sink);
-  miner.Run(std::move(roots));
+  return roots;
+}
+
+}  // namespace
+
+void MineCharm(const VerticalView& vertical, uint32_t min_count,
+               const ClosedItemsetSink& sink) {
+  ClosedSetRegistry registry;
+  CharmSearch search(min_count,
+                     [&](const Itemset& items, const Tidset& tids) {
+                       const uint64_t tidsum = TidsetSum(tids);
+                       if (registry.IsSubsumed(items, tids.size(), tidsum)) {
+                         return;
+                       }
+                       registry.Add(items, tids.size(), tidsum);
+                       sink(items, tids);
+                     });
+  search.Run(FrequentRoots(vertical, min_count));
+}
+
+void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
+                       ThreadPool* pool, const CharmMapFn& map,
+                       const CharmEmitFn& emit) {
+  // One first-level prefix branch: the closure-absorbed root plus its child
+  // equivalence class, whose subtree is independent of every other branch.
+  struct Branch {
+    CharmNode root;
+    std::vector<CharmNode> children;
+  };
+
+  std::vector<CharmNode> roots = FrequentRoots(vertical, min_count);
+  CharmSearch::SortBySupport(&roots);
+
+  // Sequential top-level pass: exactly CharmSearch::Extend's outer loop,
+  // but capturing each branch instead of recursing into it. Subtree
+  // recursion never mutates the root class, so hoisting all top-level
+  // closure work in front of the (parallel) recursions is equivalent.
+  std::vector<Branch> branches;
+  const size_t size = roots.size();
+  std::vector<Tidset> cached(size);
+  for (size_t i = 0; i < size; ++i) {
+    CharmNode& x = roots[i];
+    if (x.erased) continue;
+    for (size_t j = i + 1; j < size; ++j) {
+      CharmNode& y = roots[j];
+      if (y.erased) continue;
+      Tidset shared = TidsetIntersect(x.tids, y.tids);
+      if (shared.size() == x.tids.size()) {
+        x.items = ItemsetUnion(x.items, y.items);
+        if (shared.size() == y.tids.size()) y.erased = true;
+        cached[j].clear();
+      } else {
+        cached[j] = std::move(shared);
+      }
+    }
+    Branch branch;
+    for (size_t j = i + 1; j < size; ++j) {
+      if (roots[j].erased || cached[j].size() < min_count) continue;
+      branch.children.push_back({ItemsetUnion(x.items, roots[j].items),
+                                 std::move(cached[j]), false});
+      cached[j].clear();
+    }
+    // roots[i] is never read by later iterations (they only touch j > i).
+    branch.root = std::move(x);
+    branches.push_back(std::move(branch));
+  }
+
+  // Branch subtrees mine concurrently; each worker maps tidsets to payloads
+  // immediately so per-branch memory stays proportional to its CFI count.
+  struct Candidate {
+    Itemset items;
+    uint32_t count = 0;
+    uint64_t tidsum = 0;
+    std::any payload;
+  };
+  std::vector<std::vector<Candidate>> streams(branches.size());
+  ParallelFor(pool, branches.size(), [&](size_t b) {
+    std::vector<Candidate>& out = streams[b];
+    Branch& branch = branches[b];
+    CharmSearch search(min_count,
+                       [&](const Itemset& items, const Tidset& tids) {
+                         out.push_back({items,
+                                        static_cast<uint32_t>(tids.size()),
+                                        TidsetSum(tids), map(items, tids)});
+                       });
+    if (!branch.children.empty()) {
+      CharmSearch::SortBySupport(&branch.children);
+      search.Extend(&branch.children);
+    }
+    // The root follows its subtree, as in the sequential DFS.
+    out.push_back({branch.root.items,
+                   static_cast<uint32_t>(branch.root.tids.size()),
+                   TidsetSum(branch.root.tids),
+                   map(branch.root.items, branch.root.tids)});
+    Tidset().swap(branch.root.tids);
+    branch.children.clear();
+    branch.children.shrink_to_fit();
+  });
+
+  // Closedness filter over the recombined stream, in sequential order.
+  ClosedSetRegistry registry;
+  for (std::vector<Candidate>& stream : streams) {
+    for (Candidate& candidate : stream) {
+      if (registry.IsSubsumed(candidate.items, candidate.count,
+                              candidate.tidsum)) {
+        continue;
+      }
+      registry.Add(candidate.items, candidate.count, candidate.tidsum);
+      emit(candidate.items, candidate.count, std::move(candidate.payload));
+    }
+  }
 }
 
 std::vector<ClosedItemset> MineCharm(const VerticalView& vertical,

@@ -1,9 +1,11 @@
 #ifndef COLARM_MINING_CHARM_H_
 #define COLARM_MINING_CHARM_H_
 
+#include <any>
 #include <functional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "mining/itemset.h"
 #include "mining/tidset.h"
@@ -33,6 +35,33 @@ using ClosedItemsetSink =
 /// tidset-hash based non-closure check.
 void MineCharm(const VerticalView& vertical, uint32_t min_count,
                const ClosedItemsetSink& sink);
+
+/// Per-candidate computation run on a *worker thread* by MineCharmParallel
+/// (e.g. the MIP builder's bounding-box derivation). Like ClosedItemsetSink,
+/// the tidset is only valid for the duration of the call — payloads are what
+/// outlives the branch, tidsets never do. Called for every candidate the
+/// search discovers, including the few a later closedness check discards.
+using CharmMapFn =
+    std::function<std::any(const Itemset& items, const Tidset& tids)>;
+
+/// Emission callback of MineCharmParallel, invoked on the *calling* thread
+/// for every closed itemset, in exactly the sequential MineCharm order,
+/// with the payload CharmMapFn computed for it.
+using CharmEmitFn =
+    std::function<void(const Itemset& items, uint32_t count,
+                       std::any payload)>;
+
+/// Parallel CHARM. The depth-first search never reads the closedness
+/// registry (the registry only gates emission), so the first-level prefix
+/// branches are data-independent: after a sequential top-level closure pass
+/// over the root class, each branch subtree is mined concurrently on
+/// `pool`, and the closedness filter is replayed over the recombined
+/// candidate streams in sequential emission order. The emitted (itemset,
+/// count) sequence is byte-identical to MineCharm's. A null or 1-thread
+/// pool runs the same staged algorithm inline.
+void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
+                       ThreadPool* pool, const CharmMapFn& map,
+                       const CharmEmitFn& emit);
 
 /// Convenience overloads materializing the result.
 std::vector<ClosedItemset> MineCharm(const VerticalView& vertical,

@@ -45,7 +45,8 @@ Rect TightBoundingBox(const Dataset& dataset, std::span<const ItemId> items,
 }
 
 Result<MipIndex> MipIndex::Build(const Dataset& dataset,
-                                 const MipIndexOptions& options) {
+                                 const MipIndexOptions& options,
+                                 ThreadPool* pool) {
   if (dataset.num_records() == 0) {
     return Status::InvalidArgument("cannot index an empty dataset");
   }
@@ -62,20 +63,39 @@ Result<MipIndex> MipIndex::Build(const Dataset& dataset,
   // MIP (itemset + count + tight bbox). Tidsets are dropped immediately.
   std::vector<Mip> mips;
   VerticalView vertical(dataset);
-  MineCharm(vertical, primary_count,
-            [&](const Itemset& items, const Tidset& tids) {
-              Mip mip;
-              mip.items = items;
-              mip.global_count = static_cast<uint32_t>(tids.size());
-              mip.bbox = TightBoundingBox(dataset, items, tids);
-              mips.push_back(std::move(mip));
-            });
-  return Assemble(dataset, options, primary_count, std::move(mips));
+  if (IsParallel(pool)) {
+    // Prefix branches mine concurrently; the tight bounding box — the
+    // dominant per-CFI cost — is derived on the worker inside the map
+    // callback, while emission (and thus MIP order) stays sequential.
+    MineCharmParallel(
+        vertical, primary_count, pool,
+        [&](const Itemset& items, const Tidset& tids) {
+          return std::any(TightBoundingBox(dataset, items, tids));
+        },
+        [&](const Itemset& items, uint32_t count, std::any payload) {
+          Mip mip;
+          mip.items = items;
+          mip.global_count = count;
+          mip.bbox = std::move(*std::any_cast<Rect>(&payload));
+          mips.push_back(std::move(mip));
+        });
+  } else {
+    MineCharm(vertical, primary_count,
+              [&](const Itemset& items, const Tidset& tids) {
+                Mip mip;
+                mip.items = items;
+                mip.global_count = static_cast<uint32_t>(tids.size());
+                mip.bbox = TightBoundingBox(dataset, items, tids);
+                mips.push_back(std::move(mip));
+              });
+  }
+  return Assemble(dataset, options, primary_count, std::move(mips), pool);
 }
 
 MipIndex MipIndex::Assemble(const Dataset& dataset,
                             const MipIndexOptions& options,
-                            uint32_t primary_count, std::vector<Mip> mips) {
+                            uint32_t primary_count, std::vector<Mip> mips,
+                            ThreadPool* pool) {
   MipIndex index;
   index.dataset_ = &dataset;
   index.options_ = options;
@@ -102,7 +122,7 @@ MipIndex MipIndex::Assemble(const Dataset& dataset,
   const uint32_t dims = dataset.num_attributes();
   index.rtree_ = std::make_unique<RTree>(
       options.use_str_packing
-          ? BulkLoadSTR(dims, std::move(entries), options.rtree)
+          ? BulkLoadSTR(dims, std::move(entries), options.rtree, pool)
           : BulkLoadPacked(dims, std::move(entries), options.rtree));
 
   index.histograms_ = DatasetHistograms(dataset);

@@ -35,6 +35,11 @@ struct MipIndexOptions {
   RTree::Options rtree;
   /// STR packing vs. packing in itemset-lexicographic order.
   bool use_str_packing = true;
+
+  /// Full-struct equality: every field shapes the built index, so cache
+  /// compatibility (core/engine.cc) must compare all of them.
+  friend bool operator==(const MipIndexOptions&,
+                         const MipIndexOptions&) = default;
 };
 
 /// The paper's two-level MIP-index: a Supported R-tree over MIP bounding
@@ -43,9 +48,13 @@ struct MipIndexOptions {
 class MipIndex {
  public:
   /// Mines CFIs at the primary threshold and assembles both index levels.
-  /// The dataset must outlive the index.
+  /// The dataset must outlive the index. When `pool` can run concurrently,
+  /// the CHARM prefix branches, their bounding-box derivations, and the
+  /// R-tree bulk-load sort are parallelized; the resulting index is
+  /// byte-identical to a sequential build.
   static Result<MipIndex> Build(const Dataset& dataset,
-                                const MipIndexOptions& options);
+                                const MipIndexOptions& options,
+                                ThreadPool* pool = nullptr);
 
   const Dataset& dataset() const { return *dataset_; }
   const MipIndexOptions& options() const { return options_; }
@@ -76,7 +85,8 @@ class MipIndex {
   /// array (shared by Build and the deserializer).
   static MipIndex Assemble(const Dataset& dataset,
                            const MipIndexOptions& options,
-                           uint32_t primary_count, std::vector<Mip> mips);
+                           uint32_t primary_count, std::vector<Mip> mips,
+                           ThreadPool* pool = nullptr);
 
   const Dataset* dataset_ = nullptr;
   MipIndexOptions options_;

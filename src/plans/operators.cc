@@ -37,6 +37,14 @@ bool PlanContext::MipAttrsAllowed(uint32_t mip_id) const {
 
 namespace {
 
+// Chunk count for the record-level operator loops: a few chunks per worker
+// for load balance (candidate costs vary with tidset sizes), coarse enough
+// that per-chunk buffers stay cheap. 1 means "run the sequential path".
+size_t OperatorChunks(const PlanContext& ctx, size_t n) {
+  if (!IsParallel(ctx.pool) || n <= 1) return 1;
+  return std::min(n, static_cast<size_t>(ctx.pool->parallelism()) * 4);
+}
+
 CandidateSet RunSearch(PlanContext* ctx, bool supported) {
   CandidateSet out;
   auto visitor = [&out](const RTreeEntry& entry, bool contained) {
@@ -64,9 +72,13 @@ CandidateSet OpSupportedSearch(PlanContext* ctx) {
   return RunSearch(ctx, /*supported=*/true);
 }
 
-std::vector<QualifiedItemset> OpEliminate(
-    PlanContext* ctx, std::span<const uint32_t> candidates) {
-  std::vector<QualifiedItemset> qualified;
+namespace {
+
+// Sequential ELIMINATE body over one candidate range; the parallel path
+// runs it per chunk with chunk-local outputs.
+void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
+                    std::vector<QualifiedItemset>* qualified,
+                    uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
   for (uint32_t id : candidates) {
     if (!ctx->MipAttrsAllowed(id)) continue;
@@ -75,10 +87,37 @@ std::vector<QualifiedItemset> OpEliminate(
     for (Tid t : ctx->subset.tids) {
       if (dataset.ContainsAll(t, mip.items)) ++count;
     }
-    ctx->record_checks += ctx->subset.tids.size();
+    *record_checks += ctx->subset.tids.size();
     if (count >= ctx->local_min_count) {
-      qualified.push_back({id, count});
+      qualified->push_back({id, count});
     }
+  }
+}
+
+}  // namespace
+
+std::vector<QualifiedItemset> OpEliminate(
+    PlanContext* ctx, std::span<const uint32_t> candidates) {
+  std::vector<QualifiedItemset> qualified;
+  const size_t chunks = OperatorChunks(*ctx, candidates.size());
+  if (chunks <= 1) {
+    EliminateRange(ctx, candidates, &qualified, &ctx->record_checks);
+    return qualified;
+  }
+
+  // Candidates are sorted by mip_id, so concatenating chunk outputs in
+  // chunk order reproduces the sequential qualified order exactly.
+  std::vector<std::vector<QualifiedItemset>> parts(chunks);
+  std::vector<uint64_t> checks(chunks, 0);
+  ParallelChunks(ctx->pool, candidates.size(), chunks,
+                 [&](size_t chunk, size_t begin, size_t end) {
+                   EliminateRange(ctx, candidates.subspan(begin, end - begin),
+                                  &parts[chunk], &checks[chunk]);
+                 });
+  for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    qualified.insert(qualified.end(), parts[chunk].begin(),
+                     parts[chunk].end());
+    ctx->record_checks += checks[chunk];
   }
   return qualified;
 }
@@ -110,30 +149,96 @@ std::vector<QualifiedItemset> OpUnion(std::vector<QualifiedItemset> a,
   return a;
 }
 
-void OpVerify(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
-              RuleSet* out) {
+namespace {
+
+// Per-chunk state of the parallel VERIFY operators: each worker generates
+// into its own rule buffer with its own effort counters, merged in chunk
+// order (rules) and by summation (counters) — both reproduce the
+// sequential result exactly.
+struct VerifyShard {
+  RuleSet rules;
+  RuleGenStats rule_stats;
+  uint64_t record_checks = 0;
+};
+
+void VerifyRange(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
+                 RuleSet* out, RuleGenStats* rule_stats,
+                 uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
   for (const QualifiedItemset& q : qualified) {
     LocalSubsetCounter counter(dataset, ctx->index.mip(q.mip_id).items,
                                ctx->subset.tids);
     GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                            &ctx->rule_stats);
-    ctx->record_checks += counter.record_checks();
+                            rule_stats);
+    *record_checks += counter.record_checks();
   }
 }
 
-void OpSupportedVerify(PlanContext* ctx, std::span<const uint32_t> candidates,
-                       RuleSet* out) {
+void SupportedVerifyRange(PlanContext* ctx,
+                          std::span<const uint32_t> candidates, RuleSet* out,
+                          RuleGenStats* rule_stats, uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
   for (uint32_t id : candidates) {
     if (!ctx->MipAttrsAllowed(id)) continue;
     LocalSubsetCounter counter(dataset, ctx->index.mip(id).items,
                                ctx->subset.tids);
-    ctx->record_checks += counter.record_checks();
+    *record_checks += counter.record_checks();
     if (counter.CountFull() < ctx->local_min_count) continue;
     GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                            &ctx->rule_stats);
+                            rule_stats);
   }
+}
+
+void MergeShards(PlanContext* ctx, std::vector<VerifyShard> shards,
+                 RuleSet* out) {
+  for (VerifyShard& shard : shards) {
+    out->rules.insert(out->rules.end(),
+                      std::make_move_iterator(shard.rules.rules.begin()),
+                      std::make_move_iterator(shard.rules.rules.end()));
+    ctx->rule_stats.rules_considered += shard.rule_stats.rules_considered;
+    ctx->rule_stats.rules_emitted += shard.rule_stats.rules_emitted;
+    ctx->rule_stats.itemsets_skipped += shard.rule_stats.itemsets_skipped;
+    ctx->record_checks += shard.record_checks;
+  }
+}
+
+}  // namespace
+
+void OpVerify(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
+              RuleSet* out) {
+  const size_t chunks = OperatorChunks(*ctx, qualified.size());
+  if (chunks <= 1) {
+    VerifyRange(ctx, qualified, out, &ctx->rule_stats, &ctx->record_checks);
+    return;
+  }
+  std::vector<VerifyShard> shards(chunks);
+  ParallelChunks(ctx->pool, qualified.size(), chunks,
+                 [&](size_t chunk, size_t begin, size_t end) {
+                   VerifyShard& shard = shards[chunk];
+                   VerifyRange(ctx, qualified.subspan(begin, end - begin),
+                               &shard.rules, &shard.rule_stats,
+                               &shard.record_checks);
+                 });
+  MergeShards(ctx, std::move(shards), out);
+}
+
+void OpSupportedVerify(PlanContext* ctx, std::span<const uint32_t> candidates,
+                       RuleSet* out) {
+  const size_t chunks = OperatorChunks(*ctx, candidates.size());
+  if (chunks <= 1) {
+    SupportedVerifyRange(ctx, candidates, out, &ctx->rule_stats,
+                         &ctx->record_checks);
+    return;
+  }
+  std::vector<VerifyShard> shards(chunks);
+  ParallelChunks(ctx->pool, candidates.size(), chunks,
+                 [&](size_t chunk, size_t begin, size_t end) {
+                   VerifyShard& shard = shards[chunk];
+                   SupportedVerifyRange(
+                       ctx, candidates.subspan(begin, end - begin),
+                       &shard.rules, &shard.rule_stats, &shard.record_checks);
+                 });
+  MergeShards(ctx, std::move(shards), out);
 }
 
 namespace {

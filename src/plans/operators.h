@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "mining/rule_generator.h"
 #include "mip/mip_index.h"
 #include "plans/focal_subset.h"
@@ -46,6 +47,14 @@ struct PlanContext {
   const LocalizedQuery& query;
   RuleGenOptions rulegen;
   ArmMinerKind arm_miner = ArmMinerKind::kCharm;
+
+  /// Worker pool for the record-level operators (ELIMINATE / VERIFY /
+  /// SUPPORTED-VERIFY partition their candidate lists across it). Null or
+  /// 1-thread pools take the exact sequential code path. Parallel runs
+  /// merge per-chunk buffers and counters in deterministic chunk order, so
+  /// rules, their order before canonicalization, and every effort counter
+  /// are byte-identical to the sequential execution.
+  ThreadPool* pool = nullptr;
 
   std::vector<bool> item_attr_mask;
   FocalSubset subset;

@@ -55,6 +55,16 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
                                const RuleGenOptions& rulegen,
                                const FocalSubset* shared_subset,
                                ArmMinerKind arm_miner) {
+  PlanExecOptions exec;
+  exec.rulegen = rulegen;
+  exec.arm_miner = arm_miner;
+  exec.shared_subset = shared_subset;
+  return ExecutePlan(kind, index, query, exec);
+}
+
+Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
+                               const LocalizedQuery& query,
+                               const PlanExecOptions& exec) {
   COLARM_RETURN_IF_ERROR(query.Validate(index.dataset().schema()));
 
   PlanResult result;
@@ -63,10 +73,12 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
 
   Timer total_timer;
   Timer stage;
-  PlanContext ctx = shared_subset != nullptr
-                        ? PlanContext(index, query, rulegen, *shared_subset)
-                        : PlanContext(index, query, rulegen);
-  ctx.arm_miner = arm_miner;
+  PlanContext ctx =
+      exec.shared_subset != nullptr
+          ? PlanContext(index, query, exec.rulegen, *exec.shared_subset)
+          : PlanContext(index, query, exec.rulegen);
+  ctx.arm_miner = exec.arm_miner;
+  ctx.pool = exec.pool;
   stats.select_ms = stage.ElapsedMillis();
   stats.subset_size = ctx.subset.size();
   stats.local_min_count = ctx.local_min_count;

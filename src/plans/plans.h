@@ -60,11 +60,27 @@ struct PlanResult {
   PlanStats stats;
 };
 
+/// Everything that shapes one plan execution besides the query itself.
+struct PlanExecOptions {
+  RuleGenOptions rulegen;
+  ArmMinerKind arm_miner = ArmMinerKind::kCharm;
+  /// When non-null it must hold the query's focal box already materialized;
+  /// the SELECT pass is then skipped (multi-query optimization, see
+  /// core/batch.h).
+  const FocalSubset* shared_subset = nullptr;
+  /// Worker pool for the record-level operators; null runs the exact
+  /// sequential path. Parallel execution is byte-identical to sequential
+  /// (rules, canonical order, and every effort counter).
+  ThreadPool* pool = nullptr;
+};
+
 /// Executes one plan end to end. All six plans return the same rule set
 /// (the plan-equivalence invariant); they differ only in cost profile.
-/// When `shared_subset` is non-null it must hold the query's focal box
-/// already materialized; the SELECT pass is then skipped (multi-query
-/// optimization, see core/batch.h).
+Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
+                               const LocalizedQuery& query,
+                               const PlanExecOptions& exec);
+
+/// Legacy-parameter convenience overload (tests and benches).
 Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
                                const LocalizedQuery& query,
                                const RuleGenOptions& rulegen = {},

@@ -86,39 +86,89 @@ double Center(const Rect& box, uint32_t d) {
   return (static_cast<double>(box.lo(d)) + box.hi(d)) / 2.0;
 }
 
+// Total order for the tile sort: center along `d`, ties broken by entry id.
+// A total order makes the sorted sequence unique, so the sequential
+// std::sort and the parallel chunked sort-merge below produce identical
+// trees — the determinism contract of the parallel index build.
+bool TileLess(const RTreeEntry& a, const RTreeEntry& b, uint32_t d) {
+  const double ca = Center(a.box, d);
+  const double cb = Center(b.box, d);
+  if (ca != cb) return ca < cb;
+  return a.id < b.id;
+}
+
+// Entry count below which a parallel sort is not worth the merge passes.
+constexpr size_t kParallelSortThreshold = 2048;
+
+// Sorts entries[lo, hi) by TileLess along `d`, on the pool when the range
+// is large enough: chunk-sort then fold with inplace_merge. The comparator
+// is a total order, so the result equals the sequential sort's.
+void TileSort(std::vector<RTreeEntry>& entries, size_t lo, size_t hi,
+              uint32_t d, ThreadPool* pool) {
+  auto less = [d](const RTreeEntry& a, const RTreeEntry& b) {
+    return TileLess(a, b, d);
+  };
+  const size_t count = hi - lo;
+  if (!IsParallel(pool) || count < kParallelSortThreshold) {
+    std::sort(entries.begin() + lo, entries.begin() + hi, less);
+    return;
+  }
+
+  const size_t chunks = std::min<size_t>(pool->parallelism(), count);
+  std::vector<std::pair<size_t, size_t>> runs(chunks);
+  ParallelChunks(pool, count, chunks,
+                 [&](size_t chunk, size_t begin, size_t end) {
+                   runs[chunk] = {lo + begin, lo + end};
+                   std::sort(entries.begin() + lo + begin,
+                             entries.begin() + lo + end, less);
+                 });
+  // Fold adjacent runs; each pass merges disjoint pairs in parallel.
+  while (runs.size() > 1) {
+    std::vector<std::pair<size_t, size_t>> merged((runs.size() + 1) / 2);
+    ParallelFor(pool, merged.size(), [&](size_t pair) {
+      const size_t left = 2 * pair;
+      if (left + 1 < runs.size()) {
+        std::inplace_merge(entries.begin() + runs[left].first,
+                           entries.begin() + runs[left].second,
+                           entries.begin() + runs[left + 1].second, less);
+        merged[pair] = {runs[left].first, runs[left + 1].second};
+      } else {
+        merged[pair] = runs[left];
+      }
+    });
+    runs = std::move(merged);
+  }
+}
+
 // Recursive Sort-Tile step: order entries[lo, hi) by dimension `d`, slice
 // into vertical slabs, and recurse into each slab with the next dimension.
 void StrTile(std::vector<RTreeEntry>& entries, size_t lo, size_t hi,
-             uint32_t d, uint32_t dims, uint32_t node_cap) {
+             uint32_t d, uint32_t dims, uint32_t node_cap, ThreadPool* pool) {
   const size_t count = hi - lo;
-  if (count <= node_cap || d + 1 >= dims) {
-    std::sort(entries.begin() + lo, entries.begin() + hi,
-              [d](const RTreeEntry& a, const RTreeEntry& b) {
-                return Center(a.box, d) < Center(b.box, d);
-              });
-    return;
-  }
-  std::sort(entries.begin() + lo, entries.begin() + hi,
-            [d](const RTreeEntry& a, const RTreeEntry& b) {
-              return Center(a.box, d) < Center(b.box, d);
-            });
+  TileSort(entries, lo, hi, d, pool);
+  if (count <= node_cap || d + 1 >= dims) return;
   const double leaves = std::ceil(static_cast<double>(count) / node_cap);
   const auto slabs = std::max<size_t>(
       1, static_cast<size_t>(
              std::ceil(std::pow(leaves, 1.0 / (dims - d)))));
   const size_t slab_size = (count + slabs - 1) / slabs;
+  // Slabs are disjoint ranges; recurse over them concurrently.
+  std::vector<std::pair<size_t, size_t>> ranges;
   for (size_t begin = lo; begin < hi; begin += slab_size) {
-    size_t end = std::min(begin + slab_size, hi);
-    StrTile(entries, begin, end, d + 1, dims, node_cap);
+    ranges.emplace_back(begin, std::min(begin + slab_size, hi));
   }
+  ParallelFor(pool, ranges.size(), [&](size_t s) {
+    StrTile(entries, ranges[s].first, ranges[s].second, d + 1, dims,
+            node_cap, pool);
+  });
 }
 
 }  // namespace
 
 RTree BulkLoadSTR(uint32_t dims, std::vector<RTreeEntry> entries,
-                  RTree::Options options) {
+                  RTree::Options options, ThreadPool* pool) {
   if (!entries.empty()) {
-    StrTile(entries, 0, entries.size(), 0, dims, options.max_entries);
+    StrTile(entries, 0, entries.size(), 0, dims, options.max_entries, pool);
   }
   return RTreeBuilder::Build(dims, entries, options);
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "rtree/rtree.h"
 
 namespace colarm {
@@ -15,9 +16,11 @@ namespace colarm {
 
 /// Bulk-loads by Sort-Tile-Recursive (Leutenegger et al.): entries are
 /// recursively sorted and tiled by successive dimensions, then nodes are
-/// packed bottom-up at full fanout.
+/// packed bottom-up at full fanout. The tile sorts use a total order
+/// (center, then entry id), so the resulting tree is identical for any
+/// `pool` — a parallel build is byte-equivalent to the sequential one.
 RTree BulkLoadSTR(uint32_t dims, std::vector<RTreeEntry> entries,
-                  RTree::Options options = {});
+                  RTree::Options options = {}, ThreadPool* pool = nullptr);
 
 /// Packs entries bottom-up in exactly the order given (no sorting): every
 /// node except the last per level is filled to max_entries.

@@ -28,6 +28,8 @@ class RTree {
   struct Options {
     uint32_t max_entries = 16;  // node capacity M
     uint32_t min_entries = 6;   // underflow threshold m (<= M/2)
+
+    friend bool operator==(const Options&, const Options&) = default;
   };
 
   /// Counters exposed to the cost model and plan statistics.

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "core/engine.h"
 #include "data/salary_dataset.h"
@@ -118,6 +120,56 @@ TEST(EngineTest, SalaryEndToEnd) {
     EXPECT_DOUBLE_EQ(rule.confidence(), 1.0);
     EXPECT_GE(rule.support(), 0.75);
   }
+}
+
+TEST(EngineTest, IndexCacheRoundTrips) {
+  auto data = std::make_unique<Dataset>(RandomDataset(7, 200, 5, 3));
+  std::string cache = ::testing::TempDir() + "colarm_engine_cache_rt";
+  std::remove(cache.c_str());
+
+  EngineOptions options;
+  options.index.primary_support = 0.25;
+  options.calibrate = false;
+  options.index_cache_path = cache;
+  auto first = Engine::Build(*data, options);
+  ASSERT_TRUE(first.ok());
+  auto second = Engine::Build(*data, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*first)->index().num_mips(), (*second)->index().num_mips());
+  std::remove(cache.c_str());
+}
+
+// Regression: a cached index built under *different* options must be
+// rebuilt, not silently served. (The cache used to compare only the
+// dataset fingerprint, so changing e.g. primary_support or the R-tree
+// packing between runs kept answering from the stale file.)
+TEST(EngineTest, IndexCacheIgnoredWhenOptionsDiffer) {
+  auto data = std::make_unique<Dataset>(RandomDataset(8, 200, 5, 3));
+  std::string cache = ::testing::TempDir() + "colarm_engine_cache_opts";
+  std::remove(cache.c_str());
+
+  EngineOptions options;
+  options.index.primary_support = 0.4;
+  options.calibrate = false;
+  options.index_cache_path = cache;
+  auto coarse = Engine::Build(*data, options);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_EQ((*coarse)->index().options().primary_support, 0.4);
+
+  // Lower primary support: strictly more CFIs qualify, so serving the
+  // cached 0.4 index would visibly change (drop) answers.
+  options.index.primary_support = 0.2;
+  auto fine = Engine::Build(*data, options);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ((*fine)->index().options().primary_support, 0.2);
+  EXPECT_GT((*fine)->index().num_mips(), (*coarse)->index().num_mips());
+
+  // Different R-tree shape / packing flag must also miss the cache.
+  options.index.use_str_packing = false;
+  auto repacked = Engine::Build(*data, options);
+  ASSERT_TRUE(repacked.ok());
+  EXPECT_TRUE((*repacked)->index().options() == options.index);
+  std::remove(cache.c_str());
 }
 
 TEST(EngineTest, CalibratedBuildWorks) {
