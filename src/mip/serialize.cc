@@ -1,5 +1,6 @@
 #include "mip/serialize.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -10,7 +11,12 @@ namespace colarm {
 namespace {
 
 constexpr uint32_t kMagic = 0x434c524d;  // "CLRM"
-constexpr uint32_t kVersion = 1;
+// Version 2 appends an FNV-1a checksum of the whole payload, so corruption
+// that survives the structural checks (bit flips in counts, boxes, item
+// ids that stay in range) is still rejected deterministically.
+constexpr uint32_t kVersion = 2;
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
 
 class Writer {
  public:
@@ -22,13 +28,26 @@ class Writer {
   void U64(uint64_t v) { Raw(&v, 8); }
   void F64(double v) { Raw(&v, 8); }
 
+  /// Writes the running checksum of every byte emitted so far. Must be the
+  /// last write: the checksum bytes themselves are not accumulated.
+  void Checksum() {
+    const uint64_t hash = hash_;
+    out_.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+  }
+
   bool ok() const { return static_cast<bool>(out_); }
 
  private:
   void Raw(const void* data, size_t size) {
-    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ = (hash_ ^ bytes[i]) * kFnvPrime;
+    }
+    out_.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
   }
   std::ostream& out_;
+  uint64_t hash_ = kFnvOffset;
 };
 
 class Reader {
@@ -41,6 +60,16 @@ class Reader {
   uint64_t U64() { return Raw<uint64_t>(); }
   double F64() { return Raw<double>(); }
 
+  /// True iff the next 8 bytes equal the checksum of everything read so
+  /// far and the file ends right after them.
+  bool ChecksumMatches() {
+    const uint64_t expected = hash_;
+    uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in_ || stored != expected) return false;
+    return in_.peek() == std::char_traits<char>::eof();
+  }
+
   bool ok() const { return static_cast<bool>(in_); }
 
  private:
@@ -48,21 +77,31 @@ class Reader {
   T Raw() {
     T value{};
     in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (in_) {
+      unsigned char bytes[sizeof(T)];
+      std::memcpy(bytes, &value, sizeof(T));
+      for (unsigned char b : bytes) hash_ = (hash_ ^ b) * kFnvPrime;
+    }
     return value;
   }
   std::istream& in_;
+  uint64_t hash_ = kFnvOffset;
 };
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("corrupt index file: " + what);
+}
 
 }  // namespace
 
 uint64_t DatasetFingerprint(const Dataset& dataset) {
   // FNV-1a over the schema shape, record count, and a deterministic cell
   // sample. Cheap, stable, and sensitive to reordering or edits.
-  uint64_t hash = 1469598103934665603ULL;
+  uint64_t hash = kFnvOffset;
   auto mix = [&hash](uint64_t value) {
     for (int byte = 0; byte < 8; ++byte) {
       hash ^= (value >> (8 * byte)) & 0xff;
-      hash *= 1099511628211ULL;
+      hash *= kFnvPrime;
     }
   };
   const Schema& schema = dataset.schema();
@@ -108,6 +147,7 @@ Status SaveMipIndex(const MipIndex& index, const std::string& path) {
       w.U16(mip.bbox.hi(d));
     }
   }
+  w.Checksum();
   if (!w.ok()) return Status::IoError("short write to '" + path + "'");
   return Status::OK();
 }
@@ -116,6 +156,11 @@ Result<MipIndex> LoadMipIndex(const Dataset& dataset,
                               const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
+  in.seekg(0, std::ios::end);
+  const auto file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) return Status::IoError("cannot stat '" + path + "'");
+
   Reader r(in);
   if (r.U32() != kMagic) {
     return Status::ParseError("'" + path + "' is not a COLARM index file");
@@ -129,12 +174,26 @@ Result<MipIndex> LoadMipIndex(const Dataset& dataset,
     return Status::FailedPrecondition(
         "index file was built from a different dataset");
   }
+  // Every header field is validated before use: a corrupted file must
+  // produce a Status, never an out-of-range value that reaches an assert,
+  // an unbounded allocation, or float UB downstream.
   MipIndexOptions options;
   options.primary_support = r.F64();
+  if (!std::isfinite(options.primary_support) ||
+      options.primary_support <= 0.0 || options.primary_support > 1.0) {
+    return Corrupt("primary support outside (0, 1]");
+  }
   options.rtree.max_entries = r.U32();
   options.rtree.min_entries = r.U32();
+  if (options.rtree.max_entries < 2 || options.rtree.min_entries < 1 ||
+      options.rtree.min_entries > options.rtree.max_entries / 2) {
+    return Corrupt("invalid R-tree fanout bounds");
+  }
   options.use_str_packing = r.U8() != 0;
   uint32_t primary_count = r.U32();
+  if (primary_count < 1 || primary_count > dataset.num_records()) {
+    return Corrupt("primary count outside [1, num_records]");
+  }
   uint32_t dims = r.U32();
   if (dims != dataset.num_attributes()) {
     return Status::ParseError("index dimensionality mismatch");
@@ -142,32 +201,58 @@ Result<MipIndex> LoadMipIndex(const Dataset& dataset,
   uint32_t num_mips = r.U32();
   if (!r.ok()) return Status::ParseError("truncated index header");
 
-  const ItemId max_item = dataset.schema().num_items();
+  // Bound the MIP count by what the file could possibly hold before
+  // reserving anything: each MIP takes at least 12 + 4*dims bytes
+  // (length, one item, global count, bounding box), and the header plus
+  // trailing checksum account for 53 bytes.
+  const uint64_t min_mip_bytes = 12 + 4ull * dims;
+  const uint64_t payload =
+      static_cast<uint64_t>(file_size) > 53
+          ? static_cast<uint64_t>(file_size) - 53
+          : 0;
+  if (num_mips > payload / min_mip_bytes) {
+    return Corrupt("MIP count exceeds file size");
+  }
+
+  const Schema& schema = dataset.schema();
+  const ItemId max_item = schema.num_items();
   std::vector<Mip> mips;
   mips.reserve(num_mips);
   for (uint32_t i = 0; i < num_mips; ++i) {
     Mip mip;
     uint32_t len = r.U32();
-    if (len > max_item) return Status::ParseError("corrupt itemset length");
+    if (len < 1 || len > max_item) return Corrupt("itemset length");
     mip.items.reserve(len);
     for (uint32_t j = 0; j < len; ++j) {
       ItemId item = r.U32();
-      if (item >= max_item) return Status::ParseError("item id out of range");
+      if (item >= max_item) return Corrupt("item id out of range");
       mip.items.push_back(item);
     }
-    if (!ItemsetIsValid(mip.items)) {
-      return Status::ParseError("corrupt itemset ordering");
+    if (!ItemsetIsValid(mip.items)) return Corrupt("itemset ordering");
+    for (size_t j = 1; j < mip.items.size(); ++j) {
+      if (schema.AttrOfItem(mip.items[j - 1]) ==
+          schema.AttrOfItem(mip.items[j])) {
+        return Corrupt("two items on one attribute");
+      }
     }
     mip.global_count = r.U32();
+    if (mip.global_count < primary_count ||
+        mip.global_count > dataset.num_records()) {
+      return Corrupt("MIP support outside [primary_count, num_records]");
+    }
     mip.bbox = Rect::MakeEmpty(dims);
     for (uint32_t d = 0; d < dims; ++d) {
       ValueId lo = r.U16();
       ValueId hi = r.U16();
+      if (lo > hi || hi >= schema.attribute(d).domain_size()) {
+        return Corrupt("bounding box outside the attribute domain");
+      }
       mip.bbox.SetInterval(d, lo, hi);
     }
     if (!r.ok()) return Status::ParseError("truncated MIP record");
     mips.push_back(std::move(mip));
   }
+  if (!r.ChecksumMatches()) return Corrupt("checksum mismatch");
   return MipIndex::Assemble(dataset, options, primary_count, std::move(mips));
 }
 

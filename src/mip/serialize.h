@@ -11,11 +11,15 @@ namespace colarm {
 /// preprocess-once phase really runs once per dataset across process
 /// lifetimes (the POQM contract taken seriously).
 ///
-/// The file stores the build options, the dataset fingerprint, and the MIP
-/// array (itemsets, global counts, bounding boxes); the R-tree, IT-tree
-/// and statistics are rebuilt deterministically on load, which keeps the
-/// format small and version-stable. Loading verifies the fingerprint so an
-/// index cannot silently be attached to different data.
+/// The file stores the build options, the dataset fingerprint, the MIP
+/// array (itemsets, global counts, bounding boxes), and a trailing FNV-1a
+/// checksum of the payload; the R-tree, IT-tree and statistics are rebuilt
+/// deterministically on load, which keeps the format small and
+/// version-stable. Loading verifies the fingerprint (so an index cannot
+/// silently be attached to different data), validates every field against
+/// the schema before using it, and rejects any truncation or bit flip via
+/// the checksum — a corrupted file yields a Status, never undefined
+/// behavior.
 Status SaveMipIndex(const MipIndex& index, const std::string& path);
 
 Result<MipIndex> LoadMipIndex(const Dataset& dataset, const std::string& path);

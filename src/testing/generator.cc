@@ -1,0 +1,178 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace colarm {
+namespace fuzzing {
+
+namespace {
+
+enum class Shape { kUniform, kZipf, kCorrelated, kSparse };
+
+Schema GenSchema(Rng* rng, const FuzzLimits& limits) {
+  const uint32_t n_attrs = static_cast<uint32_t>(rng->UniformRange(
+      limits.min_attrs, limits.max_attrs));
+  std::vector<Attribute> attrs;
+  attrs.reserve(n_attrs);
+  for (uint32_t a = 0; a < n_attrs; ++a) {
+    Attribute attr;
+    attr.name = "a" + std::to_string(a);
+    const uint32_t domain = static_cast<uint32_t>(rng->UniformRange(
+        limits.min_domain, limits.max_domain));
+    for (uint32_t v = 0; v < domain; ++v) {
+      attr.values.push_back("v" + std::to_string(v));
+    }
+    attrs.push_back(std::move(attr));
+  }
+  return Schema(std::move(attrs));
+}
+
+Dataset GenDataset(Rng* rng, const FuzzLimits& limits) {
+  Schema schema = GenSchema(rng, limits);
+  const uint32_t n_attrs = schema.num_attributes();
+  const auto shape = static_cast<Shape>(rng->Uniform(4));
+  const uint32_t records = static_cast<uint32_t>(rng->UniformRange(
+      limits.min_records, limits.max_records));
+
+  // Correlated shape: attributes share "groups" whose members copy one
+  // per-record hidden value (modulo domain), creating closed-itemset
+  // structure the MIP-index actually exercises.
+  std::vector<uint32_t> group_of(n_attrs);
+  const uint32_t n_groups = 1 + static_cast<uint32_t>(rng->Uniform(3));
+  for (auto& g : group_of) g = static_cast<uint32_t>(rng->Uniform(n_groups));
+  const double coherence = 0.5 + rng->NextDouble() * 0.4;
+  const double dominant = 0.6 + rng->NextDouble() * 0.3;
+  const double zipf_theta = 0.5 + rng->NextDouble() * 1.5;
+
+  Dataset dataset{std::move(schema)};
+  std::vector<ValueId> record(n_attrs);
+  std::vector<uint64_t> group_state(n_groups);
+  for (uint32_t r = 0; r < records; ++r) {
+    for (auto& s : group_state) s = rng->Next();
+    for (uint32_t a = 0; a < n_attrs; ++a) {
+      const uint32_t domain = dataset.schema().attribute(a).domain_size();
+      switch (shape) {
+        case Shape::kUniform:
+          record[a] = static_cast<ValueId>(rng->Uniform(domain));
+          break;
+        case Shape::kZipf:
+          record[a] = static_cast<ValueId>(rng->Zipf(domain, zipf_theta));
+          break;
+        case Shape::kCorrelated:
+          record[a] = rng->Bernoulli(coherence)
+                          ? static_cast<ValueId>(group_state[group_of[a]] %
+                                                 domain)
+                          : static_cast<ValueId>(rng->Uniform(domain));
+          break;
+        case Shape::kSparse:
+          record[a] = rng->Bernoulli(dominant)
+                          ? 0
+                          : static_cast<ValueId>(rng->Uniform(domain));
+          break;
+      }
+    }
+    if (!dataset.AddRecord(record).ok()) std::abort();
+  }
+  return dataset;
+}
+
+/// A threshold that is either an exact count ratio (the boundary the
+/// >= vs > bugs live on), the 1.0 extreme, or a plain random fraction.
+double GenThreshold(Rng* rng, uint32_t total) {
+  switch (rng->Uniform(4)) {
+    case 0: {  // exact k/total boundary
+      if (total == 0) return 1.0;
+      const auto k = static_cast<uint32_t>(rng->UniformRange(1, total));
+      return static_cast<double>(k) / total;
+    }
+    case 1: {  // exact small-integer ratio p/q (confidence boundaries)
+      const auto q = static_cast<uint32_t>(rng->UniformRange(2, 8));
+      const auto p = static_cast<uint32_t>(rng->UniformRange(1, q));
+      return static_cast<double>(p) / q;
+    }
+    case 2:
+      return 1.0;
+    default:
+      return 0.05 + rng->NextDouble() * 0.9;
+  }
+}
+
+LocalizedQuery GenQuery(Rng* rng, const Dataset& dataset) {
+  const Schema& schema = dataset.schema();
+  const uint32_t n_attrs = schema.num_attributes();
+  LocalizedQuery query;
+
+  const uint64_t flavor = rng->Uniform(6);
+  if (flavor == 0) {
+    // Full-domain box: no RANGE constraint at all (DQ = D).
+  } else if (flavor == 1 && dataset.num_records() > 0) {
+    // Point box on a real record: every attribute pinned to that record's
+    // value, so DQ is small but guaranteed non-empty.
+    const Tid t = static_cast<Tid>(rng->Uniform(dataset.num_records()));
+    for (AttrId a = 0; a < n_attrs; ++a) {
+      const ValueId v = dataset.Value(t, a);
+      query.ranges.push_back({a, v, v});
+    }
+  } else {
+    // Random box over a random subset of attributes; often empty or tiny.
+    const uint32_t constrained =
+        1 + static_cast<uint32_t>(rng->Uniform(n_attrs));
+    for (uint32_t i = 0; i < constrained; ++i) {
+      const AttrId attr = static_cast<AttrId>(rng->Uniform(n_attrs));
+      bool dup = false;
+      for (const auto& r : query.ranges) dup |= (r.attr == attr);
+      if (dup) continue;
+      const uint32_t domain = schema.attribute(attr).domain_size();
+      const auto lo = static_cast<ValueId>(rng->Uniform(domain));
+      const auto hi = static_cast<ValueId>(
+          rng->UniformRange(lo, domain - 1));
+      query.ranges.push_back({attr, lo, hi});
+    }
+  }
+
+  switch (rng->Uniform(4)) {
+    case 0:  // single-attribute vocabulary (rules are then impossible)
+      query.item_attrs = {static_cast<AttrId>(rng->Uniform(n_attrs))};
+      break;
+    case 1: {  // random proper subset, at least one attribute
+      for (AttrId a = 0; a < n_attrs; ++a) {
+        if (rng->Bernoulli(0.6)) query.item_attrs.push_back(a);
+      }
+      if (query.item_attrs.empty()) {
+        query.item_attrs.push_back(static_cast<AttrId>(rng->Uniform(n_attrs)));
+      }
+      break;
+    }
+    default:  // empty = all attributes
+      break;
+  }
+
+  query.minsupp = GenThreshold(rng, dataset.num_records());
+  query.minconf = GenThreshold(rng, 0);
+  return query;
+}
+
+}  // namespace
+
+FuzzCase GenerateFuzzCase(uint64_t seed, const FuzzLimits& limits) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FuzzCase fuzz_case;
+  fuzz_case.seed = seed;
+  fuzz_case.dataset = GenDataset(&rng, limits);
+  // Primary support high enough to keep the oracle's enumeration small but
+  // low enough that MIPs exist; occasionally an exact boundary ratio.
+  fuzz_case.primary_support =
+      rng.Bernoulli(0.25)
+          ? GenThreshold(&rng, fuzz_case.dataset.num_records())
+          : 0.2 + rng.NextDouble() * 0.5;
+  for (uint32_t q = 0; q < limits.queries_per_case; ++q) {
+    fuzz_case.queries.push_back(GenQuery(&rng, fuzz_case.dataset));
+  }
+  return fuzz_case;
+}
+
+}  // namespace fuzzing
+}  // namespace colarm

@@ -1,0 +1,49 @@
+#ifndef COLARM_TESTING_GENERATOR_H_
+#define COLARM_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "plans/query.h"
+
+namespace colarm {
+namespace fuzzing {
+
+/// Size envelope for generated cases. The defaults keep one case cheap
+/// enough for the oracle (exponential!) while still covering skew,
+/// correlation, sparsity, and every query boundary.
+struct FuzzLimits {
+  uint32_t min_records = 8;
+  uint32_t max_records = 120;
+  uint32_t min_attrs = 3;
+  uint32_t max_attrs = 6;
+  uint32_t min_domain = 2;
+  uint32_t max_domain = 5;
+  uint32_t queries_per_case = 4;
+};
+
+/// One self-contained differential-testing case: a dataset, the offline
+/// primary support, and a batch of localized queries. Everything is a pure
+/// function of `seed` (given equal limits), so any case can be replayed
+/// from its one-line identity.
+struct FuzzCase {
+  uint64_t seed = 0;
+  Dataset dataset{Schema(std::vector<Attribute>{})};
+  double primary_support = 0.3;
+  std::vector<LocalizedQuery> queries;
+};
+
+/// Deterministically expands `seed` into a case. Dataset shapes rotate
+/// through uniform, Zipf-skewed, correlated-group, and sparse-dominant
+/// column distributions; queries mix random focal boxes with the boundary
+/// shapes that historically break support/confidence semantics: empty DQ,
+/// point boxes on a real record, full-domain boxes, single-attribute item
+/// vocabularies, and thresholds sitting exactly on count ratios
+/// (minsupp = k/n, minconf = p/q, and the 1.0 extremes).
+FuzzCase GenerateFuzzCase(uint64_t seed, const FuzzLimits& limits = {});
+
+}  // namespace fuzzing
+}  // namespace colarm
+
+#endif  // COLARM_TESTING_GENERATOR_H_

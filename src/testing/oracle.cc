@@ -1,0 +1,167 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+
+namespace colarm {
+namespace fuzzing {
+
+namespace {
+
+/// Tids (within `tids`, or all records when `tids` is null) containing
+/// every item of `items`, by raw column lookups.
+std::vector<Tid> SupportingTids(const Dataset& dataset,
+                                std::span<const ItemId> items,
+                                const std::vector<Tid>* tids) {
+  std::vector<Tid> out;
+  auto contains = [&](Tid t) {
+    for (ItemId item : items) {
+      if (!dataset.ContainsItem(t, item)) return false;
+    }
+    return true;
+  };
+  if (tids == nullptr) {
+    for (Tid t = 0; t < dataset.num_records(); ++t) {
+      if (contains(t)) out.push_back(t);
+    }
+  } else {
+    for (Tid t : *tids) {
+      if (contains(t)) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+/// The closure of an itemset: every item present in all of `tids`. With at
+/// least one supporting record this is well defined and contains `items`.
+Itemset ClosureOf(const Dataset& dataset, std::span<const Tid> tids) {
+  const Schema& schema = dataset.schema();
+  Itemset closure;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    const ValueId v = dataset.Value(tids.front(), a);
+    bool shared = true;
+    for (Tid t : tids.subspan(1)) {
+      if (dataset.Value(t, a) != v) {
+        shared = false;
+        break;
+      }
+    }
+    if (shared) closure.push_back(schema.ItemOf(a, v));
+  }
+  return closure;
+}
+
+/// Depth-first enumeration of every globally frequent itemset at
+/// `min_count`, keeping only the closed ones (itemset == its closure).
+void EnumerateClosed(const Dataset& dataset, uint32_t min_count,
+                     Itemset* prefix, const std::vector<Tid>& tids,
+                     ItemId next_item, std::vector<FrequentItemset>* out) {
+  if (!prefix->empty()) {
+    Itemset closure = ClosureOf(dataset, tids);
+    if (closure == *prefix) {
+      out->push_back({*prefix, static_cast<uint32_t>(tids.size())});
+    }
+  }
+  const ItemId num_items = dataset.schema().num_items();
+  for (ItemId item = next_item; item < num_items; ++item) {
+    prefix->push_back(item);
+    std::vector<Tid> extended = SupportingTids(dataset, {&item, 1}, &tids);
+    if (extended.size() >= min_count) {
+      EnumerateClosed(dataset, min_count, prefix, extended, item + 1, out);
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+uint32_t OracleMinCount(double fraction, uint32_t total) {
+  if (fraction <= 0.0 || total == 0) return 1;
+  const double raw = fraction * static_cast<double>(total);
+  for (uint32_t c = 1; c < total; ++c) {
+    if (static_cast<double>(c) + 1e-9 >= raw) return c;
+  }
+  return total;
+}
+
+Result<RuleSet> OracleLocalizedRules(const Dataset& dataset,
+                                     double primary_support,
+                                     const LocalizedQuery& query,
+                                     const OracleOptions& options) {
+  const Schema& schema = dataset.schema();
+  COLARM_RETURN_IF_ERROR(query.Validate(schema));
+
+  // DQ straight from the RANGE predicates (no Rect, no FocalSubset).
+  std::vector<Tid> dq;
+  for (Tid t = 0; t < dataset.num_records(); ++t) {
+    bool inside = true;
+    for (const RangeSelection& range : query.ranges) {
+      const ValueId v = dataset.Value(t, range.attr);
+      if (v < range.lo || v > range.hi) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) dq.push_back(t);
+  }
+  RuleSet out;
+  if (dq.empty()) return out;
+
+  // The prestored family from first principles: closed + globally frequent
+  // at the primary threshold.
+  const uint32_t primary_count =
+      OracleMinCount(primary_support, dataset.num_records());
+  std::vector<Tid> all(dataset.num_records());
+  for (Tid t = 0; t < dataset.num_records(); ++t) all[t] = t;
+  std::vector<FrequentItemset> closed;
+  Itemset prefix;
+  EnumerateClosed(dataset, primary_count, &prefix, all, 0, &closed);
+
+  const std::vector<bool> allowed = query.ItemAttrMask(schema);
+  int64_t min_count =
+      static_cast<int64_t>(
+          OracleMinCount(query.minsupp, static_cast<uint32_t>(dq.size()))) +
+      options.inject_min_count_bias;
+  if (min_count < 1) min_count = 1;
+
+  for (const FrequentItemset& cfi : closed) {
+    const size_t len = cfi.items.size();
+    if (len < 2 || len > options.max_itemset_length || len > 31) continue;
+    bool attrs_ok = true;
+    for (ItemId item : cfi.items) {
+      if (!allowed[schema.AttrOfItem(item)]) {
+        attrs_ok = false;
+        break;
+      }
+    }
+    if (!attrs_ok) continue;
+    const auto local =
+        static_cast<uint32_t>(SupportingTids(dataset, cfi.items, &dq).size());
+    if (local < min_count) continue;
+
+    const uint32_t full_mask = (1u << len) - 1;
+    for (uint32_t mask = 1; mask < full_mask; ++mask) {
+      Itemset antecedent;
+      Itemset consequent;
+      for (size_t i = 0; i < len; ++i) {
+        if (mask & (1u << i)) {
+          antecedent.push_back(cfi.items[i]);
+        } else {
+          consequent.push_back(cfi.items[i]);
+        }
+      }
+      const auto acount = static_cast<uint32_t>(
+          SupportingTids(dataset, antecedent, &dq).size());
+      if (acount == 0) continue;
+      const double confidence = static_cast<double>(local) / acount;
+      if (confidence + 1e-12 < query.minconf) continue;
+      out.rules.push_back(Rule{std::move(antecedent), std::move(consequent),
+                               local, acount,
+                               static_cast<uint32_t>(dq.size())});
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace fuzzing
+}  // namespace colarm

@@ -1,0 +1,201 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace colarm {
+namespace fuzzing {
+
+namespace {
+
+bool StillFails(const FuzzCase& fuzz_case, const CheckOptions& options) {
+  return !CheckCase(fuzz_case, options).empty();
+}
+
+/// Copy of `base` keeping only the records whose index is in `keep`
+/// (in order).
+FuzzCase WithRecords(const FuzzCase& base, const std::vector<Tid>& keep) {
+  FuzzCase out;
+  out.seed = base.seed;
+  out.primary_support = base.primary_support;
+  out.queries = base.queries;
+  out.dataset = Dataset{base.dataset.schema()};
+  std::vector<ValueId> record(base.dataset.num_attributes());
+  for (Tid t : keep) {
+    for (AttrId a = 0; a < base.dataset.num_attributes(); ++a) {
+      record[a] = base.dataset.Value(t, a);
+    }
+    if (!out.dataset.AddRecord(record).ok()) std::abort();
+  }
+  return out;
+}
+
+/// Copy of `base` without attribute `drop`; query attribute ids above it
+/// shift down. Only called for attributes no query references.
+FuzzCase WithoutAttribute(const FuzzCase& base, AttrId drop) {
+  FuzzCase out;
+  out.seed = base.seed;
+  out.primary_support = base.primary_support;
+  const Schema& schema = base.dataset.schema();
+  std::vector<Attribute> attrs;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (a != drop) attrs.push_back(schema.attribute(a));
+  }
+  out.dataset = Dataset{Schema(std::move(attrs))};
+  std::vector<ValueId> record;
+  record.reserve(schema.num_attributes() - 1);
+  for (Tid t = 0; t < base.dataset.num_records(); ++t) {
+    record.clear();
+    for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+      if (a != drop) record.push_back(base.dataset.Value(t, a));
+    }
+    if (!out.dataset.AddRecord(record).ok()) std::abort();
+  }
+  for (LocalizedQuery query : base.queries) {
+    for (auto& range : query.ranges) {
+      if (range.attr > drop) --range.attr;
+    }
+    for (auto& a : query.item_attrs) {
+      if (a > drop) --a;
+    }
+    out.queries.push_back(std::move(query));
+  }
+  return out;
+}
+
+bool QueryMentionsAttr(const LocalizedQuery& query, AttrId attr) {
+  for (const auto& range : query.ranges) {
+    if (range.attr == attr) return true;
+  }
+  return std::find(query.item_attrs.begin(), query.item_attrs.end(), attr) !=
+         query.item_attrs.end();
+}
+
+}  // namespace
+
+FuzzCase ShrinkCase(const FuzzCase& failing, const CheckOptions& options) {
+  FuzzCase current = failing;
+  if (!StillFails(current, options)) return current;
+
+  // 1. One query is almost always enough.
+  if (current.queries.size() > 1) {
+    for (size_t qi = 0; qi < current.queries.size(); ++qi) {
+      FuzzCase candidate = current;
+      candidate.queries = {current.queries[qi]};
+      if (StillFails(candidate, options)) {
+        current = std::move(candidate);
+        break;
+      }
+    }
+  }
+
+  // 2. Delta-debug the records: remove ever-smaller chunks while the
+  // violation persists.
+  for (uint32_t chunk = std::max<uint32_t>(1, current.dataset.num_records() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any && current.dataset.num_records() > 1) {
+      removed_any = false;
+      const uint32_t n = current.dataset.num_records();
+      for (uint32_t start = 0; start < n && current.dataset.num_records() > 1;
+           start += chunk) {
+        const uint32_t live = current.dataset.num_records();
+        if (start >= live) break;
+        std::vector<Tid> keep;
+        for (Tid t = 0; t < live; ++t) {
+          if (t < start || t >= start + chunk) keep.push_back(t);
+        }
+        if (keep.empty()) continue;
+        FuzzCase candidate = WithRecords(current, keep);
+        if (StillFails(candidate, options)) {
+          current = std::move(candidate);
+          removed_any = true;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // 3. Drop attributes no query mentions (their items may still matter via
+  // closures, so every drop is re-verified).
+  for (AttrId a = current.dataset.num_attributes(); a-- > 0;) {
+    if (current.dataset.num_attributes() <= 2) break;
+    bool mentioned = false;
+    for (const auto& query : current.queries) {
+      mentioned |= QueryMentionsAttr(query, a);
+    }
+    if (mentioned) continue;
+    FuzzCase candidate = WithoutAttribute(current, a);
+    if (StillFails(candidate, options)) current = std::move(candidate);
+  }
+  return current;
+}
+
+std::string FormatReproducer(const FuzzCase& fuzz_case) {
+  const Dataset& dataset = fuzz_case.dataset;
+  const Schema& schema = dataset.schema();
+  std::string out = StrFormat(
+      "// Shrunk reproducer: seed %llu, %u record(s), %u attribute(s).\n"
+      "TEST(FuzzRegression, Seed%llu) {\n"
+      "  std::vector<Attribute> attrs(%u);\n",
+      static_cast<unsigned long long>(fuzz_case.seed), dataset.num_records(),
+      dataset.num_attributes(),
+      static_cast<unsigned long long>(fuzz_case.seed),
+      dataset.num_attributes());
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    out += StrFormat("  attrs[%u].name = \"%s\";\n", a, attr.name.c_str());
+    out += StrFormat("  attrs[%u].values = {", a);
+    for (uint32_t v = 0; v < attr.domain_size(); ++v) {
+      out += StrFormat("%s\"%s\"", v ? ", " : "", attr.values[v].c_str());
+    }
+    out += "};\n";
+  }
+  out += "\n  fuzzing::FuzzCase fc;\n";
+  out += StrFormat("  fc.seed = %llu;\n",
+                   static_cast<unsigned long long>(fuzz_case.seed));
+  out += StrFormat("  fc.primary_support = %.17g;\n",
+                   fuzz_case.primary_support);
+  out += "  fc.dataset = Dataset{Schema(std::move(attrs))};\n";
+  for (Tid t = 0; t < dataset.num_records(); ++t) {
+    out += "  ASSERT_TRUE(fc.dataset.AddRecord({";
+    for (AttrId a = 0; a < dataset.num_attributes(); ++a) {
+      out += StrFormat("%s%u", a ? ", " : "",
+                       static_cast<unsigned>(dataset.Value(t, a)));
+    }
+    out += "}).ok());\n";
+  }
+  for (const LocalizedQuery& query : fuzz_case.queries) {
+    out += "\n  LocalizedQuery query;\n";
+    if (!query.ranges.empty()) {
+      out += "  query.ranges = {";
+      for (size_t i = 0; i < query.ranges.size(); ++i) {
+        out += StrFormat("%s{%u, %u, %u}", i ? ", " : "",
+                         query.ranges[i].attr,
+                         static_cast<unsigned>(query.ranges[i].lo),
+                         static_cast<unsigned>(query.ranges[i].hi));
+      }
+      out += "};\n";
+    }
+    if (!query.item_attrs.empty()) {
+      out += "  query.item_attrs = {";
+      for (size_t i = 0; i < query.item_attrs.size(); ++i) {
+        out += StrFormat("%s%u", i ? ", " : "", query.item_attrs[i]);
+      }
+      out += "};\n";
+    }
+    out += StrFormat("  query.minsupp = %.17g;\n", query.minsupp);
+    out += StrFormat("  query.minconf = %.17g;\n", query.minconf);
+    out += "  fc.queries.push_back(query);\n";
+  }
+  out +=
+      "\n  for (const auto& violation : fuzzing::CheckCase(fc)) {\n"
+      "    ADD_FAILURE() << violation.ToString();\n"
+      "  }\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace fuzzing
+}  // namespace colarm

@@ -1,0 +1,25 @@
+#ifndef COLARM_TESTING_SHRINKER_H_
+#define COLARM_TESTING_SHRINKER_H_
+
+#include <string>
+
+#include "testing/invariants.h"
+
+namespace colarm {
+namespace fuzzing {
+
+/// Greedy delta-debugging over a failing case: drops whole queries, then
+/// record chunks (halving pass sizes down to single records), then unused
+/// attributes — keeping each reduction only while CheckCase still reports
+/// a violation. The result is a minimal reproducer, typically a handful of
+/// records and one query.
+FuzzCase ShrinkCase(const FuzzCase& failing, const CheckOptions& options);
+
+/// Renders a shrunk case as a ready-to-paste GoogleTest fixture: schema
+/// construction, AddRecord lines, the query, and a CheckCase assertion.
+std::string FormatReproducer(const FuzzCase& fuzz_case);
+
+}  // namespace fuzzing
+}  // namespace colarm
+
+#endif  // COLARM_TESTING_SHRINKER_H_

@@ -1,0 +1,128 @@
+// Boundary-semantics tests: the exact spots where >= vs > threshold bugs
+// live. Every case pins all six plans to the brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/salary_dataset.h"
+#include "plans/plans.h"
+#include "testing/oracle.h"
+#include "../test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+RuleGenOptions WideRuleGen() {
+  RuleGenOptions options;
+  options.max_itemset_length = 31;
+  return options;
+}
+
+/// Runs all six plans and asserts each matches the oracle for the same
+/// primary support.
+void ExpectAllPlansMatchOracle(const Dataset& dataset, double primary,
+                               const LocalizedQuery& query) {
+  auto index = MipIndex::Build(dataset, {.primary_support = primary});
+  ASSERT_TRUE(index.ok());
+  auto oracle = fuzzing::OracleLocalizedRules(dataset, primary, query);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  for (PlanKind kind : kAllPlans) {
+    auto result = ExecutePlan(kind, *index, query, WideRuleGen());
+    ASSERT_TRUE(result.ok()) << PlanKindName(kind);
+    EXPECT_TRUE(result->rules.SameAs(*oracle))
+        << PlanKindName(kind) << " on " << query.ToString(dataset.schema())
+        << ": got " << result->rules.rules.size() << " rules, oracle "
+        << oracle->rules.size();
+  }
+}
+
+TEST(BoundaryTest, EmptyFocalSubset) {
+  Dataset data = MakeSalaryDataset();
+  LocalizedQuery query;
+  query.ranges = {{0, 3, 3}, {2, 1, 1}};  // Facebook in SFO: no such record
+  query.minsupp = 0.5;
+  query.minconf = 0.5;
+  ExpectAllPlansMatchOracle(data, 0.27, query);
+
+  auto oracle = fuzzing::OracleLocalizedRules(data, 0.27, query);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(oracle->rules.empty());
+}
+
+TEST(BoundaryTest, MinSupportExactlyOne) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Dataset data = RandomDataset(seed, 80, 4, 3);
+    LocalizedQuery query;
+    query.ranges = {{0, 0, 0}};
+    query.minsupp = 1.0;  // only itemsets present in every DQ record
+    query.minconf = 0.5;
+    ExpectAllPlansMatchOracle(data, 0.2, query);
+  }
+}
+
+TEST(BoundaryTest, MinConfidenceExactlyOne) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Dataset data = RandomDataset(seed, 80, 4, 3);
+    LocalizedQuery query;
+    query.ranges = {{1, 0, 1}};
+    query.minsupp = 0.4;
+    query.minconf = 1.0;  // only exact implications survive
+    ExpectAllPlansMatchOracle(data, 0.2, query);
+  }
+}
+
+// minsupp sitting exactly on k/|DQ| — the classic >= vs > divergence spot.
+TEST(BoundaryTest, MinSupportOnExactCountRatio) {
+  Dataset data = RandomDataset(31, 60, 4, 3);
+  LocalizedQuery probe;
+  probe.ranges = {{0, 0, 0}};
+  auto index = MipIndex::Build(data, {.primary_support = 0.2});
+  ASSERT_TRUE(index.ok());
+  auto sized = ExecutePlan(PlanKind::kSEV, *index, probe, WideRuleGen());
+  ASSERT_TRUE(sized.ok());
+  const uint32_t dq = sized->stats.subset_size;
+  ASSERT_GT(dq, 2u);
+  for (uint32_t k : {1u, dq / 2, dq - 1, dq}) {
+    if (k == 0) continue;
+    LocalizedQuery query = probe;
+    query.minsupp = static_cast<double>(k) / dq;
+    query.minconf = 0.5;
+    ExpectAllPlansMatchOracle(data, 0.2, query);
+  }
+}
+
+TEST(BoundaryTest, SingleRecordFocalBox) {
+  Dataset data = MakeSalaryDataset();
+  // Pin every attribute to record 0's values: DQ == exactly that record.
+  LocalizedQuery query;
+  for (AttrId a = 0; a < data.num_attributes(); ++a) {
+    const ValueId v = data.Value(0, a);
+    query.ranges.push_back({a, v, v});
+  }
+  query.minsupp = 1.0;
+  query.minconf = 1.0;
+  ExpectAllPlansMatchOracle(data, 0.27, query);
+}
+
+TEST(BoundaryTest, SingleAttributeItemVocabulary) {
+  // With one item attribute no rule can have disjoint non-empty sides, so
+  // every plan must return exactly nothing — not crash, not fabricate.
+  Dataset data = RandomDataset(41, 70, 4, 3);
+  for (AttrId a = 0; a < 4; ++a) {
+    LocalizedQuery query;
+    query.ranges = {{0, 0, 1}};
+    query.item_attrs = {a};
+    query.minsupp = 0.3;
+    query.minconf = 0.3;
+    ExpectAllPlansMatchOracle(data, 0.2, query);
+
+    auto oracle = fuzzing::OracleLocalizedRules(data, 0.2, query);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(oracle->rules.empty());
+  }
+}
+
+}  // namespace
+}  // namespace colarm

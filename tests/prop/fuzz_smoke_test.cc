@@ -1,0 +1,40 @@
+// In-process slice of the colarm_fuzz smoke pass: a fixed seed range
+// through the full invariant battery. The CLI ctest entry (`fuzz_smoke`)
+// covers 200 seeds with pools of 2 and 8; this test keeps a smaller sweep
+// inside the test binary so a violation shrinks and prints its reproducer
+// right in the gtest log.
+#include <gtest/gtest.h>
+
+#include "testing/generator.h"
+#include "testing/invariants.h"
+#include "testing/shrinker.h"
+
+namespace colarm {
+namespace {
+
+TEST(FuzzSmokeTest, FixedSeedsPassAllInvariants) {
+  fuzzing::FuzzLimits limits;
+  limits.max_records = 60;
+  limits.max_attrs = 5;
+  limits.max_domain = 4;
+  limits.queries_per_case = 2;
+
+  fuzzing::CheckOptions options;
+  options.thread_counts = {2};
+
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    fuzzing::FuzzCase fuzz_case = fuzzing::GenerateFuzzCase(seed, limits);
+    std::vector<fuzzing::Violation> violations =
+        fuzzing::CheckCase(fuzz_case, options);
+    if (violations.empty()) continue;
+    for (const auto& violation : violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation.ToString();
+    }
+    fuzzing::FuzzCase shrunk = fuzzing::ShrinkCase(fuzz_case, options);
+    ADD_FAILURE() << "reproducer:\n" << fuzzing::FormatReproducer(shrunk);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,99 @@
+#include "testing/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace colarm {
+namespace {
+
+// The generator is the replay key of the whole subsystem: the same seed
+// must expand into the same bytes, forever.
+TEST(GeneratorTest, DeterministicInSeed) {
+  for (uint64_t seed : {1u, 7u, 1234u}) {
+    fuzzing::FuzzCase a = fuzzing::GenerateFuzzCase(seed);
+    fuzzing::FuzzCase b = fuzzing::GenerateFuzzCase(seed);
+    ASSERT_EQ(a.dataset.num_records(), b.dataset.num_records());
+    ASSERT_EQ(a.dataset.num_attributes(), b.dataset.num_attributes());
+    for (Tid t = 0; t < a.dataset.num_records(); ++t) {
+      for (AttrId attr = 0; attr < a.dataset.num_attributes(); ++attr) {
+        ASSERT_EQ(a.dataset.Value(t, attr), b.dataset.Value(t, attr));
+      }
+    }
+    EXPECT_EQ(a.primary_support, b.primary_support);
+    ASSERT_EQ(a.queries.size(), b.queries.size());
+    for (size_t q = 0; q < a.queries.size(); ++q) {
+      EXPECT_EQ(a.queries[q].ToString(a.dataset.schema()),
+                b.queries[q].ToString(b.dataset.schema()));
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  fuzzing::FuzzCase a = fuzzing::GenerateFuzzCase(1);
+  fuzzing::FuzzCase b = fuzzing::GenerateFuzzCase(2);
+  bool differs = a.dataset.num_records() != b.dataset.num_records() ||
+                 a.dataset.num_attributes() != b.dataset.num_attributes() ||
+                 a.primary_support != b.primary_support;
+  if (!differs) {
+    for (Tid t = 0; t < a.dataset.num_records() && !differs; ++t) {
+      for (AttrId attr = 0; attr < a.dataset.num_attributes(); ++attr) {
+        differs |= a.dataset.Value(t, attr) != b.dataset.Value(t, attr);
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Every generated query must satisfy the engine's own validator, stay in
+// the limits envelope, and carry thresholds in (0, 1].
+TEST(GeneratorTest, CasesAreWellFormedAndWithinLimits) {
+  fuzzing::FuzzLimits limits;
+  limits.max_records = 40;
+  limits.max_attrs = 5;
+  limits.max_domain = 4;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    fuzzing::FuzzCase fuzz_case = fuzzing::GenerateFuzzCase(seed, limits);
+    EXPECT_GE(fuzz_case.dataset.num_records(), limits.min_records);
+    EXPECT_LE(fuzz_case.dataset.num_records(), limits.max_records);
+    EXPECT_GE(fuzz_case.dataset.num_attributes(), limits.min_attrs);
+    EXPECT_LE(fuzz_case.dataset.num_attributes(), limits.max_attrs);
+    EXPECT_GT(fuzz_case.primary_support, 0.0);
+    EXPECT_LE(fuzz_case.primary_support, 1.0);
+    EXPECT_EQ(fuzz_case.queries.size(), limits.queries_per_case);
+    for (const LocalizedQuery& query : fuzz_case.queries) {
+      EXPECT_TRUE(query.Validate(fuzz_case.dataset.schema()).ok())
+          << "seed " << seed << ": "
+          << query.ToString(fuzz_case.dataset.schema());
+    }
+  }
+}
+
+// The boundary shapes the generator promises must actually occur within a
+// modest seed budget: full-domain boxes, point boxes, single-attribute
+// vocabularies, and thresholds at exactly 1.0.
+TEST(GeneratorTest, BoundaryShapesOccur) {
+  bool saw_full_domain = false;
+  bool saw_point_box = false;
+  bool saw_single_item_attr = false;
+  bool saw_threshold_one = false;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    fuzzing::FuzzCase fuzz_case = fuzzing::GenerateFuzzCase(seed);
+    const uint32_t n_attrs = fuzz_case.dataset.num_attributes();
+    for (const LocalizedQuery& query : fuzz_case.queries) {
+      saw_full_domain |= query.ranges.empty();
+      bool all_points = query.ranges.size() == n_attrs;
+      for (const auto& range : query.ranges) {
+        all_points &= (range.lo == range.hi);
+      }
+      saw_point_box |= all_points && !query.ranges.empty();
+      saw_single_item_attr |= query.item_attrs.size() == 1;
+      saw_threshold_one |= query.minsupp == 1.0 || query.minconf == 1.0;
+    }
+  }
+  EXPECT_TRUE(saw_full_domain);
+  EXPECT_TRUE(saw_point_box);
+  EXPECT_TRUE(saw_single_item_attr);
+  EXPECT_TRUE(saw_threshold_one);
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,81 @@
+#include "testing/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include "data/salary_dataset.h"
+
+namespace colarm {
+namespace {
+
+fuzzing::FuzzCase SalaryCase() {
+  fuzzing::FuzzCase fuzz_case;
+  fuzz_case.seed = 0;
+  fuzz_case.dataset = MakeSalaryDataset();
+  fuzz_case.primary_support = 0.27;
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}, {3, 1, 1}};  // Seattle females
+  query.minsupp = 0.75;
+  query.minconf = 1.0;
+  fuzz_case.queries.push_back(query);
+  LocalizedQuery broad;
+  broad.minsupp = 0.5;
+  broad.minconf = 0.6;
+  fuzz_case.queries.push_back(broad);
+  return fuzz_case;
+}
+
+// A healthy engine on the paper's fixture: every invariant holds,
+// including thread sweeps and the serialize round-trip.
+TEST(InvariantsTest, SalaryFixturePassesAllInvariants) {
+  fuzzing::CheckOptions options;
+  options.thread_counts = {2, 8};
+  std::vector<fuzzing::Violation> violations =
+      fuzzing::CheckCase(SalaryCase(), options);
+  for (const auto& violation : violations) {
+    ADD_FAILURE() << violation.ToString();
+  }
+}
+
+// The checker itself must detect a wrong system: biasing the oracle's
+// threshold models a plan-side off-by-one, and plan-vs-oracle must fire.
+TEST(InvariantsTest, DetectsInjectedThresholdOffByOne) {
+  fuzzing::CheckOptions options;
+  options.thread_counts.clear();
+  options.check_threads = false;
+  options.check_serialize = false;
+  options.check_monotonic = false;
+  options.check_containment = false;
+  options.oracle.inject_min_count_bias = 1;
+
+  // Boundary query: minsupp = 3/4 with |DQ| = 4 makes the local threshold
+  // land exactly on a count, so a +1 bias flips the answer.
+  fuzzing::FuzzCase fuzz_case = SalaryCase();
+  fuzz_case.queries.resize(1);
+  std::vector<fuzzing::Violation> violations =
+      fuzzing::CheckCase(fuzz_case, options);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, "plan-vs-oracle");
+}
+
+// Disabled invariants stay disabled (the CLI's --no-serialize etc. depend
+// on this), and an all-off run over a valid case reports nothing.
+TEST(InvariantsTest, DisabledChecksReportNothing) {
+  fuzzing::CheckOptions options;
+  options.check_oracle = false;
+  options.check_threads = false;
+  options.check_serialize = false;
+  options.check_monotonic = false;
+  options.check_containment = false;
+  EXPECT_TRUE(fuzzing::CheckCase(SalaryCase(), options).empty());
+}
+
+TEST(InvariantsTest, ViolationToStringMentionsInvariantAndQuery) {
+  fuzzing::Violation violation{"plan-vs-oracle", 3, "detail text"};
+  const std::string rendered = violation.ToString();
+  EXPECT_NE(rendered.find("plan-vs-oracle"), std::string::npos);
+  EXPECT_NE(rendered.find("#3"), std::string::npos);
+  EXPECT_NE(rendered.find("detail text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colarm

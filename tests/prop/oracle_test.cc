@@ -1,0 +1,112 @@
+#include "testing/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/salary_dataset.h"
+#include "mining/itemset.h"
+#include "plans/plans.h"
+#include "../test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::ReferenceLocalizedRules;
+
+// The independent threshold implementation must agree with the production
+// MinCount on every (fraction, total) pair a query can produce, including
+// the exact k/n boundaries.
+TEST(OracleMinCountTest, MatchesProductionSemantics) {
+  for (uint32_t total = 1; total <= 64; ++total) {
+    for (uint32_t k = 1; k <= total; ++k) {
+      const double fraction = static_cast<double>(k) / total;
+      EXPECT_EQ(fuzzing::OracleMinCount(fraction, total),
+                MinCount(fraction, total))
+          << k << "/" << total;
+    }
+    EXPECT_EQ(fuzzing::OracleMinCount(1.0, total), MinCount(1.0, total));
+    EXPECT_EQ(fuzzing::OracleMinCount(1e-9, total), MinCount(1e-9, total));
+  }
+  EXPECT_EQ(fuzzing::OracleMinCount(0.5, 0), 1u);
+}
+
+// The oracle re-derives the prestored family and the rule set with zero
+// shared machinery; it must still agree with the test_util reference
+// (which walks the built MIP-index) on random workloads.
+TEST(OracleTest, AgreesWithIndexWalkingReference) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto data = std::make_unique<Dataset>(RandomDataset(seed, 120, 4, 3));
+    const double primary = 0.25;
+    auto index = MipIndex::Build(*data, {.primary_support = primary});
+    ASSERT_TRUE(index.ok());
+
+    LocalizedQuery query;
+    query.ranges = {{static_cast<AttrId>(seed % 4), 0, 1}};
+    query.minsupp = 0.3 + 0.1 * static_cast<double>(seed % 4);
+    query.minconf = 0.5;
+
+    RuleSet expected = ReferenceLocalizedRules(*index, query);
+    auto oracle = fuzzing::OracleLocalizedRules(*data, primary, query);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(oracle->SameAs(expected))
+        << "seed " << seed << ": oracle " << oracle->rules.size()
+        << " rules, reference " << expected.rules.size();
+  }
+}
+
+// And with the actual plans, on the paper's salary fixture.
+TEST(OracleTest, AgreesWithAllPlansOnSalaryData) {
+  auto data = std::make_unique<Dataset>(MakeSalaryDataset());
+  const double primary = 0.27;
+  auto index = MipIndex::Build(*data, {.primary_support = primary});
+  ASSERT_TRUE(index.ok());
+
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}, {3, 1, 1}};  // Seattle females
+  query.minsupp = 0.75;
+  query.minconf = 1.0;
+
+  auto oracle = fuzzing::OracleLocalizedRules(*data, primary, query);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_FALSE(oracle->rules.empty());
+  for (PlanKind kind : kAllPlans) {
+    RuleGenOptions wide;
+    wide.max_itemset_length = 31;
+    auto result = ExecutePlan(kind, *index, query, wide);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->rules.SameAs(*oracle)) << PlanKindName(kind);
+  }
+}
+
+TEST(OracleTest, RejectsInvalidQuery) {
+  auto data = std::make_unique<Dataset>(MakeSalaryDataset());
+  LocalizedQuery query;
+  query.ranges = {{99, 0, 0}};
+  EXPECT_FALSE(fuzzing::OracleLocalizedRules(*data, 0.3, query).ok());
+}
+
+// The injection hook exists to prove the differential loop catches
+// threshold off-by-ones: a +1 bias must be able to change the answer.
+TEST(OracleTest, InjectedBiasPerturbsBoundaryQueries) {
+  auto data = std::make_unique<Dataset>(RandomDataset(3, 60, 4, 3));
+  bool diverged = false;
+  for (uint64_t attempt = 0; attempt < 8 && !diverged; ++attempt) {
+    LocalizedQuery query;
+    query.ranges = {{static_cast<AttrId>(attempt % 4), 0, 0}};
+    query.minsupp = 0.25 + 0.1 * static_cast<double>(attempt % 5);
+    query.minconf = 0.3;
+    auto clean = fuzzing::OracleLocalizedRules(*data, 0.2, query);
+    fuzzing::OracleOptions biased;
+    biased.inject_min_count_bias = 1;
+    auto bumped = fuzzing::OracleLocalizedRules(*data, 0.2, query, biased);
+    ASSERT_TRUE(clean.ok());
+    ASSERT_TRUE(bumped.ok());
+    diverged |= !clean->SameAs(*bumped);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace colarm

@@ -1,0 +1,91 @@
+#include "testing/shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/generator.h"
+
+namespace colarm {
+namespace {
+
+fuzzing::CheckOptions FastOracleOnly() {
+  fuzzing::CheckOptions options;
+  options.thread_counts.clear();
+  options.check_threads = false;
+  options.check_serialize = false;
+  options.check_monotonic = false;
+  options.check_containment = false;
+  return options;
+}
+
+// The acceptance demo of the subsystem: inject a threshold off-by-one
+// (oracle counts as if the system used > instead of >=), let the fuzz loop
+// catch it, and shrink the catch to a <=10-record reproducer.
+TEST(ShrinkerTest, InjectedOffByOneIsCaughtAndShrunkToTinyCase) {
+  fuzzing::CheckOptions options = FastOracleOnly();
+  options.oracle.inject_min_count_bias = 1;
+
+  fuzzing::FuzzLimits limits;
+  limits.max_records = 50;
+  limits.max_attrs = 5;
+  limits.max_domain = 4;
+
+  bool caught = false;
+  for (uint64_t seed = 1; seed <= 40 && !caught; ++seed) {
+    fuzzing::FuzzCase fuzz_case = fuzzing::GenerateFuzzCase(seed, limits);
+    if (fuzzing::CheckCase(fuzz_case, options).empty()) continue;
+    caught = true;
+
+    fuzzing::FuzzCase shrunk = fuzzing::ShrinkCase(fuzz_case, options);
+    EXPECT_LE(shrunk.dataset.num_records(), 10u)
+        << "seed " << seed << " did not shrink below 10 records";
+    EXPECT_LE(shrunk.dataset.num_records(), fuzz_case.dataset.num_records());
+    EXPECT_EQ(shrunk.queries.size(), 1u);
+    // The shrunk case must still reproduce the violation...
+    EXPECT_FALSE(fuzzing::CheckCase(shrunk, options).empty());
+    // ...and vanish when the injected bug is removed (it is a real
+    // boundary case, not a broken reduction).
+    fuzzing::CheckOptions clean = FastOracleOnly();
+    EXPECT_TRUE(fuzzing::CheckCase(shrunk, clean).empty());
+
+    const std::string repro = fuzzing::FormatReproducer(shrunk);
+    EXPECT_NE(repro.find("TEST(FuzzRegression,"), std::string::npos);
+    EXPECT_NE(repro.find("AddRecord"), std::string::npos);
+    EXPECT_NE(repro.find("CheckCase"), std::string::npos);
+  }
+  EXPECT_TRUE(caught)
+      << "no seed in the budget hit a minsupport boundary; widen the sweep";
+}
+
+// Shrinking a passing case is the identity.
+TEST(ShrinkerTest, PassingCaseIsReturnedUnchanged) {
+  fuzzing::FuzzLimits limits;
+  limits.max_records = 30;
+  fuzzing::FuzzCase fuzz_case = fuzzing::GenerateFuzzCase(1, limits);
+  fuzzing::CheckOptions options = FastOracleOnly();
+  ASSERT_TRUE(fuzzing::CheckCase(fuzz_case, options).empty());
+  fuzzing::FuzzCase same = fuzzing::ShrinkCase(fuzz_case, options);
+  EXPECT_EQ(same.dataset.num_records(), fuzz_case.dataset.num_records());
+  EXPECT_EQ(same.queries.size(), fuzz_case.queries.size());
+}
+
+TEST(ShrinkerTest, ReproducerIsSelfContained) {
+  fuzzing::FuzzLimits limits;
+  limits.max_records = 10;
+  limits.min_records = 4;
+  limits.queries_per_case = 1;
+  fuzzing::FuzzCase fuzz_case = fuzzing::GenerateFuzzCase(9, limits);
+  const std::string repro = fuzzing::FormatReproducer(fuzz_case);
+  // One AddRecord line per record, both thresholds, and the case header.
+  size_t add_records = 0;
+  for (size_t pos = repro.find("AddRecord"); pos != std::string::npos;
+       pos = repro.find("AddRecord", pos + 1)) {
+    ++add_records;
+  }
+  EXPECT_EQ(add_records, fuzz_case.dataset.num_records());
+  EXPECT_NE(repro.find("minsupp"), std::string::npos);
+  EXPECT_NE(repro.find("minconf"), std::string::npos);
+  EXPECT_NE(repro.find("primary_support"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colarm

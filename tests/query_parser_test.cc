@@ -148,6 +148,137 @@ TEST_F(QueryParserTest, ShortThresholdAliases) {
   EXPECT_DOUBLE_EQ(query->minconf, 0.7);
 }
 
+// --- Negative paths: every malformed input must come back as a Status ---
+
+TEST_F(QueryParserTest, MissingOpeningBraceRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = M} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(QueryParserTest, MissingClosingBraceRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(QueryParserTest, MissingEqualsInRangeRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender {M} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(QueryParserTest, EmptyValueListRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(QueryParserTest, DanglingCommaInValueListRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Age = {20-30,} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, UnknownItemAttributeRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} AND ITEM ATTRIBUTES {Bogus} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryParserTest, EmptyItemAttributeListRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} AND ITEM ATTRIBUTES {} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(QueryParserTest, DuplicateItemAttributeRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} AND ITEM ATTRIBUTES {Age, Age} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryParserTest, DuplicateRangeAttributeRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} AND Gender = {F} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryParserTest, ThresholdAboveOneRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} "
+                          "HAVING minsupport = 1.5 AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryParserTest, ZeroThresholdRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} "
+                          "HAVING minsupport = 0.5 AND minconfidence = 0");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryParserTest, NegativeThresholdRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} "
+                          "HAVING minsupport = -0.5 AND minconfidence = 0.5");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, PercentThresholdAboveHundredRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} "
+                          "HAVING minsupport = 150% AND minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryParserTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseQuery(schema(), "").ok());
+  EXPECT_FALSE(ParseQuery(schema(), "   \t\n  ").ok());
+}
+
+TEST_F(QueryParserTest, UnexpectedCharacterRejected) {
+  auto query = ParseQuery(schema(),
+                          "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "
+                          "Gender = {M} HAVING minsupport = 0.5 & "
+                          "minconfidence = 0.5");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kParseError);
+}
+
 TEST_F(QueryParserTest, ParsedQueryValidates) {
   auto query = ParseQuery(schema(),
                           "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 
@@ -96,6 +97,98 @@ TEST(SerializeTest, RejectsGarbageAndTruncation) {
     out.write(contents.data(),
               static_cast<std::streamsize>(contents.size() / 2));
   }
+  EXPECT_FALSE(LoadMipIndex(*data, path).ok());
+  std::remove(path.c_str());
+}
+
+// Reads the whole file into memory so corruption tests can mutate bytes.
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+// A prefix of any length must fail with a clean Status: no crash, no
+// allocation blow-up, no partially-valid index.
+TEST(SerializeTest, TruncationAtEveryOffsetFailsCleanly) {
+  auto data = std::make_unique<Dataset>(RandomDataset(10, 80, 4, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  ASSERT_GT(built->num_mips(), 0u);
+  std::string path = TempPath("truncate_sweep.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  const std::string full = Slurp(path);
+  ASSERT_GT(full.size(), 53u);
+
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    Spit(path, full.substr(0, keep));
+    auto loaded = LoadMipIndex(*data, path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes loaded";
+  }
+  // The untouched file still loads, so the sweep exercised real content.
+  Spit(path, full);
+  EXPECT_TRUE(LoadMipIndex(*data, path).ok());
+  std::remove(path.c_str());
+}
+
+// Flipping any single bit anywhere in the file must be rejected: header
+// flips by the structural checks, payload flips by the checksum, checksum
+// flips by the mismatch itself.
+TEST(SerializeTest, SingleBitFlipsAreAlwaysRejected) {
+  auto data = std::make_unique<Dataset>(RandomDataset(11, 80, 4, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  ASSERT_GT(built->num_mips(), 0u);
+  std::string path = TempPath("bitflip.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  const std::string full = Slurp(path);
+
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = full;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      Spit(path, flipped);
+      auto loaded = LoadMipIndex(*data, path);
+      EXPECT_FALSE(loaded.ok())
+          << "flip of bit " << bit << " in byte " << byte << " loaded";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// A count field inflated to claim far more MIPs than the file holds must
+// be bounded before the loader reserves memory for them.
+TEST(SerializeTest, HugeMipCountIsRejectedBeforeAllocation) {
+  auto data = std::make_unique<Dataset>(RandomDataset(12, 60, 4, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("huge_count.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  std::string full = Slurp(path);
+  // num_mips is the last header field, at offset 41 (header is 45 bytes).
+  const uint32_t huge = 0xfffffff0u;
+  std::memcpy(&full[41], &huge, sizeof(huge));
+  Spit(path, full);
+  auto loaded = LoadMipIndex(*data, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+// Appending garbage after the checksum must fail: the format owns the
+// whole file, and trailing bytes indicate a mangled write.
+TEST(SerializeTest, TrailingGarbageIsRejected) {
+  auto data = std::make_unique<Dataset>(RandomDataset(13, 60, 4, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("trailing.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  Spit(path, Slurp(path) + "x");
   EXPECT_FALSE(LoadMipIndex(*data, path).ok());
   std::remove(path.c_str());
 }
