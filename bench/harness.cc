@@ -32,6 +32,14 @@ unsigned ThreadsFromEnv() {
   return static_cast<unsigned>(threads);
 }
 
+ExecBackend BackendFromEnv() {
+  const char* env = std::getenv("COLARM_BENCH_BACKEND");
+  if (env != nullptr && std::strcmp(env, "bitmap") == 0) {
+    return ExecBackend::kBitmap;
+  }
+  return ExecBackend::kScalar;
+}
+
 std::string JsonSinkPath() {
   const char* env = std::getenv("COLARM_BENCH_JSON");
   return env != nullptr ? std::string(env) : std::string("BENCH_plans.json");
@@ -61,10 +69,12 @@ void AppendScenarioJson(const BenchDataset& dataset, const Engine& engine,
   }
   std::fprintf(out,
                "{\"dataset\":\"%s\",\"records\":%u,\"scale\":%g,"
-               "\"num_threads\":%u,\"index_build_ms\":%.3f,"
+               "\"num_threads\":%u,\"backend\":\"%s\","
+               "\"index_build_ms\":%.3f,"
                "\"dq\":%g,\"minsupp\":%g,\"minconf\":%g,\"avg_ms\":{",
                dataset.name.c_str(), dataset.data->num_records(),
-               ScaleFromEnv(), EngineThreads(engine), index_build_ms, dq,
+               ScaleFromEnv(), EngineThreads(engine),
+               ExecBackendName(engine.options().backend), index_build_ms, dq,
                minsupp, dataset.minconf);
   for (size_t i = 0; i < kAllPlans.size(); ++i) {
     std::fprintf(out, "%s\"%s\":%.4f", i == 0 ? "" : ",",
@@ -120,6 +130,7 @@ std::unique_ptr<Engine> BuildEngine(const BenchDataset& dataset) {
   options.index.primary_support = dataset.primary_support;
   options.calibrate = true;
   options.num_threads = ThreadsFromEnv();
+  options.backend = BackendFromEnv();
   auto engine = Engine::Build(*dataset.data, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine build failed: %s\n",

@@ -29,6 +29,12 @@ double ScaleFromEnv();
 /// (default) = hardware concurrency, 1 = the exact sequential path.
 unsigned ThreadsFromEnv();
 
+/// Execution backend for the engine, read from COLARM_BENCH_BACKEND:
+/// "scalar" (default) or "bitmap". Unrecognized values fall back to
+/// scalar. The backend also lands in the JSON sink so runs are
+/// attributable after the fact.
+ExecBackend BackendFromEnv();
+
 /// Machine-readable sink for plan-figure runs: one JSON object per line
 /// appended per (dataset, DQ, minsupp) scenario. Path comes from
 /// COLARM_BENCH_JSON (default "BENCH_plans.json"; empty string disables).

@@ -92,6 +92,44 @@ void BM_TidsetIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_TidsetIntersect)->Arg(1000)->Arg(100000);
 
+// Size-skewed intersections: the small side stays at 64 elements while
+// the big side grows. Beyond a 32x skew TidsetIntersectSize switches from
+// the linear merge to galloping probes, turning the cost from
+// O(|small| + |big|) into O(|small| log |big|) — CHARM hits this shape
+// constantly once the IT-tree search deepens past fat roots.
+void BM_TidsetIntersectSkewed(benchmark::State& state) {
+  const auto big_n = static_cast<uint32_t>(state.range(0));
+  constexpr uint32_t kSmallN = 64;
+  Tidset small;
+  Tidset big;
+  for (uint32_t i = 0; i < big_n; ++i) big.push_back(i);
+  for (uint32_t i = 0; i < kSmallN; ++i) {
+    small.push_back(i * (big_n / kSmallN) + (i % 7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TidsetIntersectSize(small, big));
+  }
+  state.SetItemsProcessed(state.iterations() * kSmallN);
+}
+BENCHMARK(BM_TidsetIntersectSkewed)
+    ->Arg(1 << 11)   // 32x: the switch-over point
+    ->Arg(1 << 14)   // 256x
+    ->Arg(1 << 18);  // 4096x
+
+void BM_TidsetIsSubsetSkewed(benchmark::State& state) {
+  const auto big_n = static_cast<uint32_t>(state.range(0));
+  constexpr uint32_t kSmallN = 64;
+  Tidset big;
+  Tidset sub;
+  for (uint32_t i = 0; i < big_n; ++i) big.push_back(i);
+  for (uint32_t i = 0; i < kSmallN; ++i) sub.push_back(i * (big_n / kSmallN));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TidsetIsSubset(sub, big));
+  }
+  state.SetItemsProcessed(state.iterations() * kSmallN);
+}
+BENCHMARK(BM_TidsetIsSubsetSkewed)->Arg(1 << 11)->Arg(1 << 14)->Arg(1 << 18);
+
 }  // namespace
 }  // namespace colarm
 

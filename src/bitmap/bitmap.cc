@@ -1,0 +1,114 @@
+#include "bitmap/bitmap.h"
+
+namespace colarm {
+
+Bitmap Bitmap::FromTids(std::span<const Tid> tids, uint32_t size) {
+  Bitmap bitmap(size);
+  for (Tid t : tids) bitmap.Set(t);
+  return bitmap;
+}
+
+void Bitmap::Fill() {
+  if (words_.empty()) return;
+  for (uint64_t& w : words_) w = ~0ull;
+  const uint32_t slack = num_words() * kBitsPerWord - size_;
+  if (slack > 0) words_.back() >>= slack;
+}
+
+uint64_t Bitmap::Count() const { return CountRange(0, num_words()); }
+
+uint64_t Bitmap::CountRange(uint32_t word_begin, uint32_t word_end) const {
+  uint64_t count = 0;
+  for (uint32_t w = word_begin; w < word_end; ++w) {
+    count += static_cast<uint64_t>(std::popcount(words_[w]));
+  }
+  return count;
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  AndWithRange(other, 0, num_words());
+}
+
+void Bitmap::AndWithRange(const Bitmap& other, uint32_t word_begin,
+                          uint32_t word_end) {
+  for (uint32_t w = word_begin; w < word_end; ++w) {
+    words_[w] &= other.words_[w];
+  }
+}
+
+void Bitmap::AndNotWith(const Bitmap& other) {
+  for (uint32_t w = 0; w < num_words(); ++w) {
+    words_[w] &= ~other.words_[w];
+  }
+}
+
+void Bitmap::OrWith(const Bitmap& other) { OrWithRange(other, 0, num_words()); }
+
+void Bitmap::OrWithRange(const Bitmap& other, uint32_t word_begin,
+                         uint32_t word_end) {
+  for (uint32_t w = word_begin; w < word_end; ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
+void Bitmap::AndInto(const Bitmap& a, const Bitmap& b, Bitmap* out) {
+  for (uint32_t w = 0; w < a.num_words(); ++w) {
+    out->words_[w] = a.words_[w] & b.words_[w];
+  }
+}
+
+uint64_t Bitmap::AndCount(const Bitmap& a, const Bitmap& b) {
+  return AndCountRange(a, b, 0, a.num_words());
+}
+
+uint64_t Bitmap::AndCountRange(const Bitmap& a, const Bitmap& b,
+                               uint32_t word_begin, uint32_t word_end) {
+  uint64_t count = 0;
+  for (uint32_t w = word_begin; w < word_end; ++w) {
+    count += static_cast<uint64_t>(std::popcount(a.words_[w] & b.words_[w]));
+  }
+  return count;
+}
+
+uint64_t Bitmap::And3Count(const Bitmap& a, const Bitmap& b, const Bitmap& c) {
+  uint64_t count = 0;
+  for (uint32_t w = 0; w < a.num_words(); ++w) {
+    count += static_cast<uint64_t>(
+        std::popcount(a.words_[w] & b.words_[w] & c.words_[w]));
+  }
+  return count;
+}
+
+uint64_t Bitmap::SumOfBits() const {
+  uint64_t sum = 0;
+  for (uint32_t w = 0; w < num_words(); ++w) {
+    uint64_t word = words_[w];
+    const uint64_t base = static_cast<uint64_t>(w) * kBitsPerWord;
+    sum += base * static_cast<uint64_t>(std::popcount(word));
+    while (word != 0) {
+      sum += static_cast<uint64_t>(std::countr_zero(word));
+      word &= word - 1;
+    }
+  }
+  return sum;
+}
+
+void Bitmap::AppendTids(std::vector<Tid>* out) const {
+  for (uint32_t w = 0; w < num_words(); ++w) {
+    uint64_t word = words_[w];
+    const Tid base = static_cast<Tid>(w) * kBitsPerWord;
+    while (word != 0) {
+      out->push_back(base + static_cast<Tid>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+std::vector<Tid> Bitmap::ToTids() const {
+  std::vector<Tid> tids;
+  tids.reserve(Count());
+  AppendTids(&tids);
+  return tids;
+}
+
+}  // namespace colarm

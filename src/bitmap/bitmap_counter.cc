@@ -1,0 +1,119 @@
+#include "bitmap/bitmap_counter.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace colarm {
+
+uint32_t BitmapLocalCount(const VerticalIndex& vertical, const Bitmap& dq,
+                          std::span<const ItemId> itemset, Bitmap* scratch) {
+  if (itemset.empty()) return static_cast<uint32_t>(dq.Count());
+  if (itemset.size() == 1) {
+    return static_cast<uint32_t>(Bitmap::AndCount(vertical.item(itemset[0]), dq));
+  }
+  if (itemset.size() == 2) {
+    return static_cast<uint32_t>(Bitmap::And3Count(
+        vertical.item(itemset[0]), vertical.item(itemset[1]), dq));
+  }
+  Bitmap::AndInto(vertical.item(itemset[0]), vertical.item(itemset[1]),
+                  scratch);
+  for (size_t i = 2; i < itemset.size(); ++i) {
+    scratch->AndWith(vertical.item(itemset[i]));
+  }
+  return static_cast<uint32_t>(Bitmap::AndCount(*scratch, dq));
+}
+
+BitmapSubsetCounter::BitmapSubsetCounter(const VerticalIndex& vertical,
+                                         const Bitmap& dq, Itemset itemset,
+                                         std::span<const Tid> dq_tids)
+    : vertical_(vertical),
+      dq_(dq),
+      itemset_(std::move(itemset)),
+      dq_tids_(dq_tids) {
+  const size_t len = itemset_.size();
+  use_mask_ = len <= kMaxMaskItems;
+  if (use_mask_) {
+    superset_counts_.assign(size_t{1} << len, 0);
+    // Two word-exact routes to the same table. The lattice DFS does one
+    // AND + popcount per subset; the row probe touches each focal record
+    // `len` times then zeta-transforms. Pick whichever moves fewer words.
+    const uint64_t dfs_cost =
+        (uint64_t{1} << len) * static_cast<uint64_t>(dq_.num_words());
+    const uint64_t probe_cost =
+        static_cast<uint64_t>(dq_tids_.size()) * static_cast<uint64_t>(len);
+    if (len > 0 && dfs_cost > probe_cost) {
+      // Row probe: per-record sub-pattern mask via bit tests, then the
+      // same superset-sum transform the scalar counter uses.
+      for (Tid t : dq_tids_) {
+        uint32_t mask = 0;
+        for (size_t i = 0; i < len; ++i) {
+          if (vertical_.item(itemset_[i]).Test(t)) mask |= (1u << i);
+        }
+        ++superset_counts_[mask];
+      }
+      for (size_t bit = 0; bit < len; ++bit) {
+        const uint32_t bitmask = 1u << bit;
+        for (uint32_t m = 0; m < superset_counts_.size(); ++m) {
+          if ((m & bitmask) == 0) {
+            superset_counts_[m] += superset_counts_[m | bitmask];
+          }
+        }
+      }
+    } else {
+      // Lattice DFS: superset_counts_[m] is directly
+      // popcount(AND of the mask's item bitmaps ∩ DQ) — no transform
+      // needed. Each node reuses its parent's intersection, so the whole
+      // table costs one AND per subset; scratch[d] is the depth-d
+      // running intersection.
+      superset_counts_[0] = static_cast<uint32_t>(dq_.Count());
+      std::vector<Bitmap> scratch(len, Bitmap(vertical_.num_records()));
+      auto dfs = [&](auto&& self, const Bitmap& parent, uint32_t mask,
+                     size_t first_bit, size_t depth) -> void {
+        for (size_t bit = first_bit; bit < len; ++bit) {
+          Bitmap& cur = scratch[depth];
+          Bitmap::AndInto(parent, vertical_.item(itemset_[bit]), &cur);
+          const uint32_t child = mask | (1u << bit);
+          superset_counts_[child] = static_cast<uint32_t>(cur.Count());
+          self(self, cur, child, bit + 1, depth + 1);
+        }
+      };
+      dfs(dfs, dq_, 0, 0, 0);
+    }
+    record_checks_ += dq_tids_.size();
+    full_count_ = superset_counts_.empty()
+                      ? 0
+                      : superset_counts_[superset_counts_.size() - 1];
+  } else {
+    Bitmap scratch(vertical_.num_records());
+    full_count_ = BitmapLocalCount(vertical_, dq_, itemset_, &scratch);
+    record_checks_ += dq_tids_.size();
+  }
+}
+
+uint32_t BitmapSubsetCounter::MaskOf(std::span<const ItemId> subset) const {
+  uint32_t mask = 0;
+  size_t pos = 0;
+  for (ItemId item : subset) {
+    while (pos < itemset_.size() && itemset_[pos] < item) ++pos;
+    if (pos == itemset_.size() || itemset_[pos] != item) {
+      return UINT32_MAX;  // item not part of the base itemset
+    }
+    mask |= (1u << pos);
+    ++pos;
+  }
+  return mask;
+}
+
+uint32_t BitmapSubsetCounter::CountOf(std::span<const ItemId> subset) const {
+  if (use_mask_) {
+    uint32_t mask = MaskOf(subset);
+    if (mask == UINT32_MAX) return 0;
+    return superset_counts_[mask];
+  }
+  Bitmap scratch(vertical_.num_records());
+  const uint32_t count = BitmapLocalCount(vertical_, dq_, subset, &scratch);
+  record_checks_ += dq_tids_.size();
+  return count;
+}
+
+}  // namespace colarm

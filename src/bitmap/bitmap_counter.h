@@ -1,0 +1,68 @@
+#ifndef COLARM_BITMAP_BITMAP_COUNTER_H_
+#define COLARM_BITMAP_BITMAP_COUNTER_H_
+
+#include <span>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "bitmap/vertical_index.h"
+#include "mining/itemset.h"
+
+namespace colarm {
+
+/// Local support of one (sorted) itemset within a focal-subset bitmap:
+/// popcount(AND of the item bitmaps ∩ DQ), computed word-parallel with no
+/// row access. `scratch` (universe-sized) avoids per-call allocation in
+/// the ELIMINATE candidate loop; it is clobbered.
+uint32_t BitmapLocalCount(const VerticalIndex& vertical, const Bitmap& dq,
+                          std::span<const ItemId> itemset, Bitmap* scratch);
+
+/// Word-parallel drop-in for LocalSubsetCounter: local support counts of
+/// every subset of a candidate itemset, computed from the vertical index
+/// and the focal-subset bitmap instead of a row scan. Counts are exactly
+/// LocalSubsetCounter's, and the record-check effort counter follows the
+/// same semantics (one "check" per focal record per full pass), so plans
+/// report byte-identical statistics on either backend.
+///
+/// For itemsets up to kMaxMaskItems the counter precomputes all 2^L
+/// subset counts — either by a DFS over the subset lattice (one AND +
+/// popcount per subset, reusing the parent intersection) or, when 2^L
+/// passes would cost more than one row-mask pass, by probing each focal
+/// record's mask against the item bitmaps and zeta-transforming, whichever
+/// is cheaper. Longer itemsets fall back to one AND-chain per query.
+class BitmapSubsetCounter {
+ public:
+  static constexpr size_t kMaxMaskItems = 20;
+
+  /// `itemset` must be sorted; `dq_tids` is the focal subset's tid list
+  /// (spanned, not copied — it must outlive the counter, which every plan
+  /// operator guarantees: the FocalSubset lives in the PlanContext).
+  BitmapSubsetCounter(const VerticalIndex& vertical, const Bitmap& dq,
+                      Itemset itemset, std::span<const Tid> dq_tids);
+
+  /// Local support count of a subset of the constructor itemset. `subset`
+  /// must be sorted; unknown items return 0 (LocalSubsetCounter contract).
+  uint32_t CountOf(std::span<const ItemId> subset) const;
+
+  uint32_t CountFull() const { return full_count_; }
+
+  const Itemset& itemset() const { return itemset_; }
+  uint32_t base_size() const { return static_cast<uint32_t>(dq_tids_.size()); }
+  uint64_t record_checks() const { return record_checks_; }
+
+ private:
+  uint32_t MaskOf(std::span<const ItemId> subset) const;
+
+  const VerticalIndex& vertical_;
+  const Bitmap& dq_;
+  Itemset itemset_;
+  std::span<const Tid> dq_tids_;
+  bool use_mask_ = false;
+  std::vector<uint32_t> superset_counts_;  // [mask] = |records ⊇ mask|
+  uint32_t full_count_ = 0;
+  mutable uint64_t record_checks_ = 0;
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_BITMAP_BITMAP_COUNTER_H_

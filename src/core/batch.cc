@@ -42,6 +42,24 @@ std::string BoxKey(const Rect& box) {
   return key;
 }
 
+// Materializes one shared focal subset on the engine's configured backend.
+// The bitmap route yields the same sorted tid list as the scalar scan, so
+// sharing stays backend-transparent. `pool` is null here on purpose when
+// called from inside a parallel region (boxes already run concurrently).
+FocalSubset MaterializeSubset(const MipIndex& index, const Rect& box,
+                              ExecBackend backend, ThreadPool* pool) {
+  if (backend == ExecBackend::kBitmap && !index.vertical().empty()) {
+    FocalSubset subset;
+    subset.box = box;
+    subset.tids =
+        index.vertical()
+            .MaterializeDq(index.dataset().schema(), box, pool)
+            .ToTids();
+    return subset;
+  }
+  return FocalSubset::Materialize(index.dataset(), box);
+}
+
 }  // namespace
 
 Result<BatchResult> BatchExecutor::Execute(
@@ -116,7 +134,8 @@ Result<BatchResult> BatchExecutor::Execute(
     }
     boxes.resize(rects.size());
     ParallelFor(pool, rects.size(), [&](size_t b) {
-      boxes[b] = FocalSubset::Materialize(index.dataset(), rects[b]);
+      boxes[b] = MaterializeSubset(index, rects[b],
+                                   engine_->options().backend, nullptr);
     });
     for (size_t i : unique) shared[i] = &boxes[box_index[i]];
   }
@@ -139,6 +158,7 @@ Result<BatchResult> BatchExecutor::Execute(
     exec.arm_miner = engine_->options().arm_miner;
     exec.shared_subset = shared[i];
     exec.pool = pool;
+    exec.backend = engine_->options().backend;
     Result<PlanResult> plan = ExecutePlan(kind, index, query, exec);
     if (!plan.ok()) {
       std::lock_guard<std::mutex> lock(failure_mutex);
@@ -188,7 +208,9 @@ Status BatchExecutor::SequentialExecute(
       if (it == subsets.end()) {
         it = subsets
                  .emplace(std::move(key),
-                          FocalSubset::Materialize(index.dataset(), box))
+                          MaterializeSubset(index, box,
+                                            engine_->options().backend,
+                                            nullptr))
                  .first;
       } else {
         ++batch->subsets_shared;
@@ -199,9 +221,12 @@ Status BatchExecutor::SequentialExecute(
     OptimizerDecision decision = engine_->optimizer().Choose(query);
     PlanKind kind =
         options.use_optimizer ? decision.chosen : options.forced_plan;
-    Result<PlanResult> plan =
-        ExecutePlan(kind, index, query, engine_->options().rulegen, shared,
-                    engine_->options().arm_miner);
+    PlanExecOptions exec;
+    exec.rulegen = engine_->options().rulegen;
+    exec.arm_miner = engine_->options().arm_miner;
+    exec.shared_subset = shared;
+    exec.backend = engine_->options().backend;
+    Result<PlanResult> plan = ExecutePlan(kind, index, query, exec);
     if (!plan.ok()) return plan.status();
 
     QueryResult result;

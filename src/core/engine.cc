@@ -49,7 +49,8 @@ Result<std::unique_ptr<Engine>> Engine::Build(const Dataset& dataset,
   engine->cardinality_ = std::make_unique<CardinalityEstimator>(
       dataset.schema(), engine->index_->histograms(), dataset.num_records());
   engine->optimizer_ = std::make_unique<Optimizer>(
-      CostModel(engine->index_->stats(), *engine->cardinality_, constants));
+      CostModel(engine->index_->stats(), *engine->cardinality_, constants,
+                options.backend));
   return engine;
 }
 
@@ -60,6 +61,7 @@ Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
   exec.rulegen = options_.rulegen;
   exec.arm_miner = options_.arm_miner;
   exec.pool = pool_.get();
+  exec.backend = options_.backend;
   Result<PlanResult> plan = ExecutePlan(decision.chosen, *index_, query, exec);
   if (!plan.ok()) return plan.status();
   QueryResult result;
@@ -78,6 +80,7 @@ Result<QueryResult> Engine::ExecuteWithPlan(const LocalizedQuery& query,
   exec.rulegen = options_.rulegen;
   exec.arm_miner = options_.arm_miner;
   exec.pool = pool_.get();
+  exec.backend = options_.backend;
   Result<PlanResult> plan = ExecutePlan(kind, *index_, query, exec);
   if (!plan.ok()) return plan.status();
   QueryResult result;

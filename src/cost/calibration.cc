@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "bitmap/bitmap.h"
 #include "common/timer.h"
 #include "mining/itemset.h"
 #include "mining/tidset.h"
@@ -90,6 +91,18 @@ CostConstants Calibrate(const Dataset& dataset) {
   constants.mine_cell_ns = std::max(
       0.3, MeasureNs(4096, 32, [&]() -> uint64_t {
         return TidsetIntersectSize(a, b);
+      }));
+
+  // Word-parallel AND+popcount throughput, the unit of every kBitmap
+  // operator (DQ materialization, ELIMINATE counts, VERIFY subset DFS).
+  constexpr uint32_t kBitmapBits = 512 * Bitmap::kBitsPerWord;
+  Bitmap bits_a(kBitmapBits);
+  Bitmap bits_b(kBitmapBits);
+  for (uint32_t i = 0; i < kBitmapBits; i += 3) bits_a.Set(i);
+  for (uint32_t i = 0; i < kBitmapBits; i += 5) bits_b.Set(i);
+  constants.bitmap_word_ns = std::max(
+      0.05, MeasureNs(bits_a.num_words(), 64, [&]() -> uint64_t {
+        return Bitmap::AndCount(bits_a, bits_b);
       }));
 
   // Rule checks are dominated by a subset lookup plus a division; model as

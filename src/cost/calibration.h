@@ -16,6 +16,7 @@ struct CostConstants {
   double select_record_ns = 4.0;       // SELECT membership test per record
   double mine_cell_ns = 6.0;           // CHARM work per record-item cell
   double union_const_ns = 500.0;       // the UNION operator's fixed cost
+  double bitmap_word_ns = 1.0;         // one 64-bit AND+popcount word op
 };
 
 /// Micro-benchmarks the primitive operations on `dataset` (a few

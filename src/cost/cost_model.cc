@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bitmap/bitmap.h"
 #include "common/string_util.h"
 
 namespace colarm {
@@ -101,20 +102,46 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind,
   const double avg_len = std::max(1.0, stats_->avg_itemset_length);
   const double m = stats_->num_records;
 
-  // All plans materialize DQ with one relation scan (ARM's SELECT).
-  est.select = m * constants_.select_record_ns;
+  // Words per bitmap — the unit every kBitmap kernel is priced in.
+  const double words =
+      std::ceil(m / static_cast<double>(Bitmap::kBitsPerWord));
+
+  // SELECT. Scalar: one relation scan. Bitmap: per attribute a range-OR
+  // plus an AND over the word array, then one pass converting DQ to tids.
+  // The term is plan-independent either way, so its accuracy never sways
+  // plan choice — only the absolute estimate.
+  if (backend_ == ExecBackend::kBitmap) {
+    constexpr double kAvgOrWidth = 3.0;  // value bitmaps OR'd per attribute
+    est.select = stats_->num_attributes * (kAvgOrWidth + 1.0) * words *
+                     constants_.bitmap_word_ns +
+                 subset * constants_.select_record_ns;
+  } else {
+    est.select = m * constants_.select_record_ns;
+  }
 
   const bool supported = kind == PlanKind::kSSEV || kind == PlanKind::kSSVS ||
                          kind == PlanKind::kSSEUV;
 
   // ELIMINATE's containment scan exits on the first mismatching item, so
   // it averages ~2 probes per record; VERIFY's subset-mask pass must test
-  // every item of the itemset on every record.
+  // every item of the itemset on every record. The bitmap backend prices
+  // the same work in word passes: an AND-chain of avg_len item bitmaps
+  // plus the popcount against DQ per ELIMINATE candidate, and one AND per
+  // subset of the itemset (the lattice DFS, ~2^len = rules_per + 2 nodes)
+  // per VERIFY itemset — floored at its per-record probe fallback, which
+  // the counter switches to when the lattice is the costlier route.
   constexpr double kAvgEliminateChecks = 2.0;
   const double eliminate_per_cand =
-      subset * kAvgEliminateChecks * constants_.record_item_check_ns;
-  const double verify_scan_per_itemset =
+      backend_ == ExecBackend::kBitmap
+          ? (avg_len + 1.0) * words * constants_.bitmap_word_ns
+          : subset * kAvgEliminateChecks * constants_.record_item_check_ns;
+  const double scalar_verify_scan =
       subset * avg_len * constants_.record_item_check_ns;
+  const double verify_scan_per_itemset =
+      backend_ == ExecBackend::kBitmap
+          ? std::min((rules_per + 2.0) * words * constants_.bitmap_word_ns,
+                     scalar_verify_scan)
+          : scalar_verify_scan;
   const double verify_per_itemset =
       verify_scan_per_itemset + rules_per * constants_.rule_check_ns;
 

@@ -39,9 +39,16 @@ struct PlanCostEstimate {
 /// evaluations — no data access.
 class CostModel {
  public:
+  /// `backend` selects which per-operator unit costs price the record-level
+  /// terms: row scans (kScalar) or word-parallel bitmap kernels (kBitmap).
+  /// Cardinalities and formulas are backend-free; only the unit costs move.
   CostModel(const IndexStats& stats, const CardinalityEstimator& cardinality,
-            CostConstants constants)
-      : stats_(&stats), cardinality_(&cardinality), constants_(constants) {}
+            CostConstants constants,
+            ExecBackend backend = ExecBackend::kScalar)
+      : stats_(&stats),
+        cardinality_(&cardinality),
+        constants_(constants),
+        backend_(backend) {}
 
   PlanCostEstimate Estimate(PlanKind kind, const LocalizedQuery& query) const;
 
@@ -75,6 +82,7 @@ class CostModel {
   const IndexStats* stats_;
   const CardinalityEstimator* cardinality_;
   CostConstants constants_;
+  ExecBackend backend_ = ExecBackend::kScalar;
 };
 
 }  // namespace colarm

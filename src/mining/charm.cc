@@ -4,13 +4,16 @@
 #include <unordered_map>
 #include <utility>
 
+#include "bitmap/hybrid_tidset.h"
+
 namespace colarm {
 
 namespace {
 
-struct CharmNode {
+template <typename TidsetT>
+struct CharmNodeT {
   Itemset items;
-  Tidset tids;
+  TidsetT tids;
   bool erased = false;
 };
 
@@ -49,21 +52,27 @@ class ClosedSetRegistry {
 // deterministic DFS order. The registry never influences the search, which
 // is what makes branch-parallel mining possible — sequential and parallel
 // callers apply the same filter to the same stream.
-class CharmSearch {
+//
+// Templated over the tidset container so the same search runs on sorted
+// tid lists (Tidset) or density-adaptive bitmaps (HybridTidset). Ordering
+// depends only on sizes and items — values a representation cannot change
+// — so every instantiation emits the identical candidate stream.
+template <typename TidsetT>
+class CharmSearchT {
  public:
-  using CandidateFn = std::function<void(const Itemset&, const Tidset&)>;
+  using CandidateFn = std::function<void(const Itemset&, const TidsetT&)>;
 
-  CharmSearch(uint32_t min_count, CandidateFn fn)
+  CharmSearchT(uint32_t min_count, CandidateFn fn)
       : min_count_(min_count), fn_(std::move(fn)) {}
 
-  void Run(std::vector<CharmNode> roots) {
+  void Run(std::vector<CharmNodeT<TidsetT>> roots) {
     SortBySupport(&roots);
     Extend(&roots);
   }
 
-  static void SortBySupport(std::vector<CharmNode>* klass) {
+  static void SortBySupport(std::vector<CharmNodeT<TidsetT>>* klass) {
     std::sort(klass->begin(), klass->end(),
-              [](const CharmNode& a, const CharmNode& b) {
+              [](const CharmNodeT<TidsetT>& a, const CharmNodeT<TidsetT>& b) {
                 if (a.tids.size() != b.tids.size()) {
                   return a.tids.size() < b.tids.size();
                 }
@@ -74,19 +83,19 @@ class CharmSearch {
   // Processes one prefix-equivalence class. Nodes are support-ascending, so
   // for j > i only the tidset relations t(Xi)==t(Xj), t(Xi)⊂t(Xj) and
   // "overlap" can occur (t(Xj)⊂t(Xi) would force supp(Xj) < supp(Xi)).
-  void Extend(std::vector<CharmNode>* klass) {
+  void Extend(std::vector<CharmNodeT<TidsetT>>* klass) {
     const size_t size = klass->size();
-    std::vector<Tidset> cached(size);
+    std::vector<TidsetT> cached(size);
     for (size_t i = 0; i < size; ++i) {
-      CharmNode& x = (*klass)[i];
+      CharmNodeT<TidsetT>& x = (*klass)[i];
       if (x.erased) continue;
 
       // Pass 1: absorb closure items from siblings whose tidsets contain
       // t(Xi) (properties 1 and 2), caching intersections for pass 2.
       for (size_t j = i + 1; j < size; ++j) {
-        CharmNode& y = (*klass)[j];
+        CharmNodeT<TidsetT>& y = (*klass)[j];
         if (y.erased) continue;
-        Tidset shared = TidsetIntersect(x.tids, y.tids);
+        TidsetT shared = TidsetIntersect(x.tids, y.tids);
         if (shared.size() == x.tids.size()) {
           // t(Xi) ⊆ t(Xj): Xj's items belong to closure(Xi).
           x.items = ItemsetUnion(x.items, y.items);
@@ -101,7 +110,7 @@ class CharmSearch {
 
       // Pass 2: spawn the child class from the cached proper overlaps,
       // now that x.items carries its full closure w.r.t. this class.
-      std::vector<CharmNode> children;
+      std::vector<CharmNodeT<TidsetT>> children;
       for (size_t j = i + 1; j < size; ++j) {
         if ((*klass)[j].erased || cached[j].size() < min_count_) continue;
         children.push_back({ItemsetUnion(x.items, (*klass)[j].items),
@@ -124,9 +133,9 @@ class CharmSearch {
   const CandidateFn fn_;
 };
 
-std::vector<CharmNode> FrequentRoots(const VerticalView& vertical,
-                                     uint32_t min_count) {
-  std::vector<CharmNode> roots;
+std::vector<CharmNodeT<Tidset>> FrequentRoots(const VerticalView& vertical,
+                                              uint32_t min_count) {
+  std::vector<CharmNodeT<Tidset>> roots;
   for (ItemId i = 0; i < vertical.num_items(); ++i) {
     if (vertical.support(i) >= min_count) {
       roots.push_back({{i}, vertical.tidset(i), false});
@@ -135,50 +144,73 @@ std::vector<CharmNode> FrequentRoots(const VerticalView& vertical,
   return roots;
 }
 
-}  // namespace
-
-void MineCharm(const VerticalView& vertical, uint32_t min_count,
-               const ClosedItemsetSink& sink) {
-  ClosedSetRegistry registry;
-  CharmSearch search(min_count,
-                     [&](const Itemset& items, const Tidset& tids) {
-                       const uint64_t tidsum = TidsetSum(tids);
-                       if (registry.IsSubsumed(items, tids.size(), tidsum)) {
-                         return;
-                       }
-                       registry.Add(items, tids.size(), tidsum);
-                       sink(items, tids);
-                     });
-  search.Run(FrequentRoots(vertical, min_count));
+std::vector<CharmNodeT<HybridTidset>> HybridRoots(const VerticalView& vertical,
+                                                  uint32_t universe,
+                                                  uint32_t min_count) {
+  std::vector<CharmNodeT<HybridTidset>> roots;
+  for (ItemId i = 0; i < vertical.num_items(); ++i) {
+    if (vertical.support(i) >= min_count) {
+      roots.push_back(
+          {{i}, HybridTidset::FromTids(vertical.tidset(i), universe), false});
+    }
+  }
+  return roots;
 }
 
-void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
-                       ThreadPool* pool, const CharmMapFn& map,
-                       const CharmEmitFn& emit) {
+// The CharmMapFn / ClosedItemsetSink contracts hand callers a Tidset; a
+// hybrid run materializes into a caller-scoped scratch at the boundary.
+const Tidset& AsTidList(const Tidset& tids, Tidset* /*scratch*/) {
+  return tids;
+}
+const Tidset& AsTidList(const HybridTidset& tids, Tidset* scratch) {
+  *scratch = tids.ToTids();
+  return *scratch;
+}
+
+template <typename TidsetT>
+void MineCharmImpl(std::vector<CharmNodeT<TidsetT>> roots, uint32_t min_count,
+                   const ClosedItemsetSink& sink) {
+  ClosedSetRegistry registry;
+  Tidset scratch;
+  CharmSearchT<TidsetT> search(
+      min_count, [&](const Itemset& items, const TidsetT& tids) {
+        const uint64_t tidsum = TidsetSum(tids);
+        if (registry.IsSubsumed(items, tids.size(), tidsum)) {
+          return;
+        }
+        registry.Add(items, tids.size(), tidsum);
+        sink(items, AsTidList(tids, &scratch));
+      });
+  search.Run(std::move(roots));
+}
+
+template <typename TidsetT>
+void MineCharmParallelImpl(std::vector<CharmNodeT<TidsetT>> roots,
+                           uint32_t min_count, ThreadPool* pool,
+                           const CharmMapFn& map, const CharmEmitFn& emit) {
   // One first-level prefix branch: the closure-absorbed root plus its child
   // equivalence class, whose subtree is independent of every other branch.
   struct Branch {
-    CharmNode root;
-    std::vector<CharmNode> children;
+    CharmNodeT<TidsetT> root;
+    std::vector<CharmNodeT<TidsetT>> children;
   };
 
-  std::vector<CharmNode> roots = FrequentRoots(vertical, min_count);
-  CharmSearch::SortBySupport(&roots);
+  CharmSearchT<TidsetT>::SortBySupport(&roots);
 
-  // Sequential top-level pass: exactly CharmSearch::Extend's outer loop,
+  // Sequential top-level pass: exactly CharmSearchT::Extend's outer loop,
   // but capturing each branch instead of recursing into it. Subtree
   // recursion never mutates the root class, so hoisting all top-level
   // closure work in front of the (parallel) recursions is equivalent.
   std::vector<Branch> branches;
   const size_t size = roots.size();
-  std::vector<Tidset> cached(size);
+  std::vector<TidsetT> cached(size);
   for (size_t i = 0; i < size; ++i) {
-    CharmNode& x = roots[i];
+    CharmNodeT<TidsetT>& x = roots[i];
     if (x.erased) continue;
     for (size_t j = i + 1; j < size; ++j) {
-      CharmNode& y = roots[j];
+      CharmNodeT<TidsetT>& y = roots[j];
       if (y.erased) continue;
-      Tidset shared = TidsetIntersect(x.tids, y.tids);
+      TidsetT shared = TidsetIntersect(x.tids, y.tids);
       if (shared.size() == x.tids.size()) {
         x.items = ItemsetUnion(x.items, y.items);
         if (shared.size() == y.tids.size()) y.erased = true;
@@ -211,22 +243,24 @@ void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
   ParallelFor(pool, branches.size(), [&](size_t b) {
     std::vector<Candidate>& out = streams[b];
     Branch& branch = branches[b];
-    CharmSearch search(min_count,
-                       [&](const Itemset& items, const Tidset& tids) {
-                         out.push_back({items,
-                                        static_cast<uint32_t>(tids.size()),
-                                        TidsetSum(tids), map(items, tids)});
-                       });
+    Tidset scratch;
+    CharmSearchT<TidsetT> search(
+        min_count, [&](const Itemset& items, const TidsetT& tids) {
+          out.push_back({items, static_cast<uint32_t>(tids.size()),
+                         TidsetSum(tids),
+                         map(items, AsTidList(tids, &scratch))});
+        });
     if (!branch.children.empty()) {
-      CharmSearch::SortBySupport(&branch.children);
+      CharmSearchT<TidsetT>::SortBySupport(&branch.children);
       search.Extend(&branch.children);
     }
     // The root follows its subtree, as in the sequential DFS.
     out.push_back({branch.root.items,
                    static_cast<uint32_t>(branch.root.tids.size()),
                    TidsetSum(branch.root.tids),
-                   map(branch.root.items, branch.root.tids)});
-    Tidset().swap(branch.root.tids);
+                   map(branch.root.items, AsTidList(branch.root.tids,
+                                                    &scratch))});
+    branch.root.tids = TidsetT();
     branch.children.clear();
     branch.children.shrink_to_fit();
   });
@@ -243,6 +277,32 @@ void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
       emit(candidate.items, candidate.count, std::move(candidate.payload));
     }
   }
+}
+
+}  // namespace
+
+void MineCharm(const VerticalView& vertical, uint32_t min_count,
+               const ClosedItemsetSink& sink) {
+  MineCharmImpl(FrequentRoots(vertical, min_count), min_count, sink);
+}
+
+void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
+                       ThreadPool* pool, const CharmMapFn& map,
+                       const CharmEmitFn& emit) {
+  MineCharmParallelImpl(FrequentRoots(vertical, min_count), min_count, pool,
+                        map, emit);
+}
+
+void MineCharmHybrid(const VerticalView& vertical, uint32_t universe,
+                     uint32_t min_count, const ClosedItemsetSink& sink) {
+  MineCharmImpl(HybridRoots(vertical, universe, min_count), min_count, sink);
+}
+
+void MineCharmHybridParallel(const VerticalView& vertical, uint32_t universe,
+                             uint32_t min_count, ThreadPool* pool,
+                             const CharmMapFn& map, const CharmEmitFn& emit) {
+  MineCharmParallelImpl(HybridRoots(vertical, universe, min_count), min_count,
+                        pool, map, emit);
 }
 
 std::vector<ClosedItemset> MineCharm(const VerticalView& vertical,

@@ -63,6 +63,20 @@ void MineCharmParallel(const VerticalView& vertical, uint32_t min_count,
                        ThreadPool* pool, const CharmMapFn& map,
                        const CharmEmitFn& emit);
 
+/// CHARM over density-adaptive hybrid tidsets (bitmap when fat, tid list
+/// when thin — see bitmap/hybrid_tidset.h): near-root intersections run
+/// word-parallel, and the emitted (itemset, tidset) stream is
+/// byte-identical to MineCharm's. `universe` is the record-id universe the
+/// tids index into — pass the *full* dataset's record count even for a
+/// subset VerticalView, whose tids keep their original ids.
+void MineCharmHybrid(const VerticalView& vertical, uint32_t universe,
+                     uint32_t min_count, const ClosedItemsetSink& sink);
+
+/// Hybrid-tidset twin of MineCharmParallel; same emission contract.
+void MineCharmHybridParallel(const VerticalView& vertical, uint32_t universe,
+                             uint32_t min_count, ThreadPool* pool,
+                             const CharmMapFn& map, const CharmEmitFn& emit);
+
 /// Convenience overloads materializing the result.
 std::vector<ClosedItemset> MineCharm(const VerticalView& vertical,
                                      uint32_t min_count);

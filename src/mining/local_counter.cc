@@ -6,9 +6,7 @@ namespace colarm {
 
 LocalSubsetCounter::LocalSubsetCounter(const Dataset& dataset, Itemset itemset,
                                        std::span<const Tid> tids)
-    : dataset_(dataset),
-      itemset_(std::move(itemset)),
-      tids_(tids.begin(), tids.end()) {
+    : dataset_(dataset), itemset_(std::move(itemset)), tids_(tids) {
   const size_t len = itemset_.size();
   use_mask_ = len <= kMaxMaskItems;
   if (use_mask_) {

@@ -23,7 +23,10 @@ class LocalSubsetCounter {
  public:
   static constexpr size_t kMaxMaskItems = 20;
 
-  /// `itemset` must be sorted; `tids` is the focal subset's tid list.
+  /// `itemset` must be sorted; `tids` is the focal subset's tid list. The
+  /// counter spans it rather than copying — the caller's tid storage must
+  /// outlive the counter, which every call site guarantees (the
+  /// FocalSubset lives in the plan context, the counter in a loop body).
   LocalSubsetCounter(const Dataset& dataset, Itemset itemset,
                      std::span<const Tid> tids);
 
@@ -47,7 +50,7 @@ class LocalSubsetCounter {
 
   const Dataset& dataset_;
   Itemset itemset_;
-  std::vector<Tid> tids_;
+  std::span<const Tid> tids_;
   bool use_mask_ = false;
   std::vector<uint32_t> superset_counts_;  // after zeta transform
   uint32_t full_count_ = 0;

@@ -26,9 +26,51 @@ struct RuleGenStats {
 /// X, Y non-empty, and local confidence >= minconf. The itemset itself is
 /// assumed to already satisfy the local minsupport check (the ELIMINATE /
 /// SUPPORTED-VERIFY operators guarantee that).
-void GenerateRulesForItemset(const LocalSubsetCounter& counter, double minconf,
+///
+/// Templated over the subset counter so both execution backends share the
+/// enumeration: LocalSubsetCounter (row scans) and BitmapSubsetCounter
+/// (word-parallel) expose the same CountOf/CountFull/itemset/base_size
+/// contract and identical counts, so the emitted rules are byte-identical.
+template <typename Counter>
+void GenerateRulesForItemset(const Counter& counter, double minconf,
                              const RuleGenOptions& options, RuleSet* out,
-                             RuleGenStats* stats);
+                             RuleGenStats* stats) {
+  const Itemset& itemset = counter.itemset();
+  const size_t len = itemset.size();
+  if (len < 2) return;  // a rule needs a non-empty antecedent and consequent
+  if (len > options.max_itemset_length || len > 31) {
+    ++stats->itemsets_skipped;
+    return;
+  }
+  const uint32_t itemset_count = counter.CountFull();
+  const uint32_t base = counter.base_size();
+  const uint32_t full_mask = (1u << len) - 1;
+
+  Itemset antecedent;
+  Itemset consequent;
+  antecedent.reserve(len);
+  consequent.reserve(len);
+  for (uint32_t mask = 1; mask < full_mask; ++mask) {
+    ++stats->rules_considered;
+    antecedent.clear();
+    consequent.clear();
+    for (size_t i = 0; i < len; ++i) {
+      if (mask & (1u << i)) {
+        antecedent.push_back(itemset[i]);
+      } else {
+        consequent.push_back(itemset[i]);
+      }
+    }
+    const uint32_t antecedent_count = counter.CountOf(antecedent);
+    if (antecedent_count == 0) continue;
+    const double confidence =
+        static_cast<double>(itemset_count) / antecedent_count;
+    if (confidence + 1e-12 < minconf) continue;
+    out->rules.push_back(Rule{antecedent, consequent, itemset_count,
+                              antecedent_count, base});
+    ++stats->rules_emitted;
+  }
+}
 
 }  // namespace colarm
 

@@ -4,6 +4,48 @@
 
 namespace colarm {
 
+namespace {
+
+// Size-skew ratio beyond which the merge loop loses to galloping probes:
+// the merge walks every element of the big side, O(|a|+|b|), while
+// galloping pays O(|a| log(|b|/|a|)) — a win once the big side dwarfs the
+// small one by more than the probe overhead.
+constexpr size_t kGallopSkewRatio = 32;
+
+// First index i >= begin with b[i] >= key, found by exponential probing
+// from `begin` followed by a binary search inside the bracketed window.
+// Cheap when consecutive keys land near each other in b.
+size_t GallopLowerBound(std::span<const Tid> b, size_t begin, Tid key) {
+  if (begin >= b.size() || b[begin] >= key) return begin;
+  size_t bound = 1;
+  while (begin + bound < b.size() && b[begin + bound] < key) bound <<= 1;
+  // b[begin + bound/2] < key, so the answer lies in (begin + bound/2,
+  // begin + bound].
+  const size_t lo = begin + (bound >> 1) + 1;
+  const size_t hi = std::min(begin + bound + 1, b.size());
+  return static_cast<size_t>(
+      std::lower_bound(b.begin() + static_cast<ptrdiff_t>(lo),
+                       b.begin() + static_cast<ptrdiff_t>(hi), key) -
+      b.begin());
+}
+
+uint32_t GallopIntersectSize(std::span<const Tid> small,
+                             std::span<const Tid> big) {
+  uint32_t count = 0;
+  size_t j = 0;
+  for (Tid key : small) {
+    j = GallopLowerBound(big, j, key);
+    if (j == big.size()) break;
+    if (big[j] == key) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
 Tidset TidsetIntersect(std::span<const Tid> a, std::span<const Tid> b) {
   Tidset out;
   TidsetIntersectInto(a, b, &out);
@@ -30,6 +72,10 @@ void TidsetIntersectInto(std::span<const Tid> a, std::span<const Tid> b,
 }
 
 uint32_t TidsetIntersectSize(std::span<const Tid> a, std::span<const Tid> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.size() * kGallopSkewRatio < b.size()) {
+    return GallopIntersectSize(a, b);
+  }
   uint32_t count = 0;
   size_t i = 0;
   size_t j = 0;
@@ -48,6 +94,16 @@ uint32_t TidsetIntersectSize(std::span<const Tid> a, std::span<const Tid> b) {
 }
 
 bool TidsetIsSubset(std::span<const Tid> a, std::span<const Tid> b) {
+  if (a.size() > b.size()) return false;
+  if (a.size() * kGallopSkewRatio < b.size()) {
+    size_t j = 0;
+    for (Tid key : a) {
+      j = GallopLowerBound(b, j, key);
+      if (j == b.size() || b[j] != key) return false;
+      ++j;
+    }
+    return true;
+  }
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 

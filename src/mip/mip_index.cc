@@ -63,31 +63,49 @@ Result<MipIndex> MipIndex::Build(const Dataset& dataset,
   // MIP (itemset + count + tight bbox). Tidsets are dropped immediately.
   std::vector<Mip> mips;
   VerticalView vertical(dataset);
+  // At the primary threshold every kept tidset has >= primary_count tids;
+  // when that clears the bitmap density bar (one tid per 64-bit word), the
+  // hybrid miner's near-root intersections all run word-parallel, so it
+  // wins outright. Below the bar the list miner avoids paying bitmap
+  // conversions for tidsets that would immediately sparsify.
+  const bool use_hybrid =
+      static_cast<uint64_t>(primary_count) * Bitmap::kBitsPerWord >=
+      static_cast<uint64_t>(dataset.num_records());
   if (IsParallel(pool)) {
     // Prefix branches mine concurrently; the tight bounding box — the
     // dominant per-CFI cost — is derived on the worker inside the map
     // callback, while emission (and thus MIP order) stays sequential.
-    MineCharmParallel(
-        vertical, primary_count, pool,
-        [&](const Itemset& items, const Tidset& tids) {
-          return std::any(TightBoundingBox(dataset, items, tids));
-        },
-        [&](const Itemset& items, uint32_t count, std::any payload) {
-          Mip mip;
-          mip.items = items;
-          mip.global_count = count;
-          mip.bbox = std::move(*std::any_cast<Rect>(&payload));
-          mips.push_back(std::move(mip));
-        });
+    const CharmMapFn map = [&](const Itemset& items, const Tidset& tids) {
+      return std::any(TightBoundingBox(dataset, items, tids));
+    };
+    const CharmEmitFn emit = [&](const Itemset& items, uint32_t count,
+                                 std::any payload) {
+      Mip mip;
+      mip.items = items;
+      mip.global_count = count;
+      mip.bbox = std::move(*std::any_cast<Rect>(&payload));
+      mips.push_back(std::move(mip));
+    };
+    if (use_hybrid) {
+      MineCharmHybridParallel(vertical, dataset.num_records(), primary_count,
+                              pool, map, emit);
+    } else {
+      MineCharmParallel(vertical, primary_count, pool, map, emit);
+    }
   } else {
-    MineCharm(vertical, primary_count,
-              [&](const Itemset& items, const Tidset& tids) {
-                Mip mip;
-                mip.items = items;
-                mip.global_count = static_cast<uint32_t>(tids.size());
-                mip.bbox = TightBoundingBox(dataset, items, tids);
-                mips.push_back(std::move(mip));
-              });
+    const ClosedItemsetSink sink = [&](const Itemset& items,
+                                       const Tidset& tids) {
+      Mip mip;
+      mip.items = items;
+      mip.global_count = static_cast<uint32_t>(tids.size());
+      mip.bbox = TightBoundingBox(dataset, items, tids);
+      mips.push_back(std::move(mip));
+    };
+    if (use_hybrid) {
+      MineCharmHybrid(vertical, dataset.num_records(), primary_count, sink);
+    } else {
+      MineCharm(vertical, primary_count, sink);
+    }
   }
   return Assemble(dataset, options, primary_count, std::move(mips), pool);
 }
@@ -95,12 +113,14 @@ Result<MipIndex> MipIndex::Build(const Dataset& dataset,
 MipIndex MipIndex::Assemble(const Dataset& dataset,
                             const MipIndexOptions& options,
                             uint32_t primary_count, std::vector<Mip> mips,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, VerticalIndex vertical) {
   MipIndex index;
   index.dataset_ = &dataset;
   index.options_ = options;
   index.primary_count_ = primary_count;
   index.mips_ = std::move(mips);
+  index.vertical_ = vertical.empty() ? VerticalIndex::Build(dataset, pool)
+                                     : std::move(vertical);
 
   // Deterministic id order: lexicographic by itemset. This also clusters
   // similar bounding boxes for the packed R-tree build.

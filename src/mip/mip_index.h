@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "bitmap/vertical_index.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/histogram.h"
@@ -69,6 +70,10 @@ class MipIndex {
   const IndexStats& stats() const { return stats_; }
   const DatasetHistograms& histograms() const { return histograms_; }
 
+  /// The vertical bitmap form of the dataset, built (or cache-loaded)
+  /// alongside the index; the kBitmap execution backend runs on it.
+  const VerticalIndex& vertical() const { return vertical_; }
+
   /// Global support count of an arbitrary itemset via the closed-superset
   /// property; 0 if the itemset is below the primary threshold.
   uint32_t GlobalCount(std::span<const ItemId> items) const {
@@ -82,11 +87,14 @@ class MipIndex {
   MipIndex() = default;
 
   /// Assembles both index levels and the statistics from a ready MIP
-  /// array (shared by Build and the deserializer).
+  /// array (shared by Build and the deserializer). A non-empty `vertical`
+  /// (the cache loader's validated bitmaps) is adopted as-is; otherwise
+  /// the vertical index is rebuilt from the dataset on `pool`.
   static MipIndex Assemble(const Dataset& dataset,
                            const MipIndexOptions& options,
                            uint32_t primary_count, std::vector<Mip> mips,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           VerticalIndex vertical = VerticalIndex());
 
   const Dataset* dataset_ = nullptr;
   MipIndexOptions options_;
@@ -96,6 +104,7 @@ class MipIndex {
   ITTree ittree_;
   IndexStats stats_;
   DatasetHistograms histograms_;
+  VerticalIndex vertical_;
 };
 
 /// Computes the tight bounding box of a tidset (exposed for tests).

@@ -13,8 +13,11 @@ namespace {
 constexpr uint32_t kMagic = 0x434c524d;  // "CLRM"
 // Version 2 appends an FNV-1a checksum of the whole payload, so corruption
 // that survives the structural checks (bit flips in counts, boxes, item
-// ids that stay in range) is still rejected deterministically.
-constexpr uint32_t kVersion = 2;
+// ids that stay in range) is still rejected deterministically. Version 3
+// persists the vertical bitmap index between the MIP records and the
+// checksum, so the kBitmap backend skips its rebuild on cache load; v2
+// files are rejected (the engine falls back to a rebuild).
+constexpr uint32_t kVersion = 3;
 constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
 
@@ -147,6 +150,19 @@ Status SaveMipIndex(const MipIndex& index, const std::string& path) {
       w.U16(mip.bbox.hi(d));
     }
   }
+  // Vertical bitmap section (v3): raw words, one run per item.
+  const VerticalIndex& vertical = index.vertical();
+  w.U32(vertical.num_records());
+  w.U32(vertical.num_items());
+  const uint32_t words_per_item =
+      vertical.num_items() == 0 ? 0 : vertical.item(0).num_words();
+  w.U32(words_per_item);
+  for (ItemId item = 0; item < vertical.num_items(); ++item) {
+    const Bitmap& bits = vertical.item(item);
+    for (uint32_t word = 0; word < bits.num_words(); ++word) {
+      w.U64(bits.words()[word]);
+    }
+  }
   w.Checksum();
   if (!w.ok()) return Status::IoError("short write to '" + path + "'");
   return Status::OK();
@@ -252,8 +268,51 @@ Result<MipIndex> LoadMipIndex(const Dataset& dataset,
     if (!r.ok()) return Status::ParseError("truncated MIP record");
     mips.push_back(std::move(mip));
   }
+  // Vertical bitmap section (v3). Shape must match the dataset exactly;
+  // the per-attribute partition check below additionally rejects payloads
+  // whose bits cannot be a one-hot re-encoding of *some* relation (wrong
+  // cardinalities, overlapping value bitmaps, stray slack bits).
+  const uint32_t vertical_records = r.U32();
+  const uint32_t vertical_items = r.U32();
+  const uint32_t words_per_item = r.U32();
+  if (!r.ok()) return Status::ParseError("truncated vertical header");
+  if (vertical_records != dataset.num_records() ||
+      vertical_items != max_item) {
+    return Corrupt("vertical index shape mismatch");
+  }
+  const uint32_t expected_words =
+      (vertical_records + Bitmap::kBitsPerWord - 1) / Bitmap::kBitsPerWord;
+  if (words_per_item != expected_words) {
+    return Corrupt("vertical word count mismatch");
+  }
+  std::vector<Bitmap> bitmaps;
+  bitmaps.reserve(vertical_items);
+  for (ItemId item = 0; item < vertical_items; ++item) {
+    Bitmap bits(vertical_records);
+    for (uint32_t word = 0; word < bits.num_words(); ++word) {
+      bits.mutable_words()[word] = r.U64();
+    }
+    if (!r.ok()) return Status::ParseError("truncated vertical bitmap");
+    bitmaps.push_back(std::move(bits));
+  }
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    const ItemId base = schema.item_base(a);
+    Bitmap seen(vertical_records);
+    uint64_t total = 0;
+    for (ValueId v = 0; v < schema.attribute(a).domain_size(); ++v) {
+      total += bitmaps[base + v].Count();
+      seen.OrWith(bitmaps[base + v]);
+    }
+    // Exactly one value per record and attribute, and nothing outside the
+    // record universe (a set slack bit inflates `total` past m).
+    if (total != vertical_records || seen.Count() != vertical_records) {
+      return Corrupt("vertical bitmaps are not a record partition");
+    }
+  }
   if (!r.ChecksumMatches()) return Corrupt("checksum mismatch");
-  return MipIndex::Assemble(dataset, options, primary_count, std::move(mips));
+  return MipIndex::Assemble(
+      dataset, options, primary_count, std::move(mips), nullptr,
+      VerticalIndex::FromBitmaps(std::move(bitmaps), vertical_records));
 }
 
 }  // namespace colarm

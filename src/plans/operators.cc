@@ -2,27 +2,71 @@
 
 #include <algorithm>
 
+#include "bitmap/bitmap_counter.h"
 #include "mining/fpgrowth.h"
 #include "mining/local_counter.h"
 
 namespace colarm {
 
+const char* ExecBackendName(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kScalar:
+      return "scalar";
+    case ExecBackend::kBitmap:
+      return "bitmap";
+  }
+  return "?";
+}
+
+namespace {
+
+// True iff the box restricts any attribute below its full domain — the
+// condition under which the scalar SELECT scans (and prices) the relation.
+bool BoxIsConstrained(const Schema& schema, const Rect& box) {
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (box.lo(a) != 0 || box.hi(a) != schema.attribute(a).domain_size() - 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
-                         const RuleGenOptions& rulegen)
-    : index(index), query(query), rulegen(rulegen) {
+                         const RuleGenOptions& rulegen, ThreadPool* pool,
+                         ExecBackend backend)
+    : index(index), query(query), rulegen(rulegen), pool(pool) {
   const Schema& schema = index.dataset().schema();
   item_attr_mask = query.ItemAttrMask(schema);
-  subset = FocalSubset::Materialize(index.dataset(), query.ToRect(schema),
-                                    &record_checks);
+  const Rect box = query.ToRect(schema);
+  if (backend == ExecBackend::kBitmap && !index.vertical().empty()) {
+    vertical = &index.vertical();
+    dq_bitmap = vertical->MaterializeDq(schema, box, pool);
+    subset.box = box;
+    subset.tids = dq_bitmap.ToTids();
+    // Same record-check price as the scalar scan, which touches every
+    // record only when the box constrains something.
+    if (BoxIsConstrained(schema, box)) {
+      record_checks += index.dataset().num_records();
+    }
+  } else {
+    subset = FocalSubset::Materialize(index.dataset(), box, &record_checks);
+  }
   local_min_count =
       subset.size() == 0 ? 1 : MinCount(query.minsupp, subset.size());
 }
 
 PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
-                         const RuleGenOptions& rulegen, FocalSubset shared)
-    : index(index), query(query), rulegen(rulegen) {
+                         const RuleGenOptions& rulegen, FocalSubset shared,
+                         ThreadPool* pool, ExecBackend backend)
+    : index(index), query(query), rulegen(rulegen), pool(pool) {
   item_attr_mask = query.ItemAttrMask(index.dataset().schema());
   subset = std::move(shared);
+  if (backend == ExecBackend::kBitmap && !index.vertical().empty()) {
+    vertical = &index.vertical();
+    dq_bitmap = Bitmap::FromTids(subset.tids, index.dataset().num_records());
+  }
   local_min_count =
       subset.size() == 0 ? 1 : MinCount(query.minsupp, subset.size());
 }
@@ -75,17 +119,29 @@ CandidateSet OpSupportedSearch(PlanContext* ctx) {
 namespace {
 
 // Sequential ELIMINATE body over one candidate range; the parallel path
-// runs it per chunk with chunk-local outputs.
+// runs it per chunk with chunk-local outputs. The bitmap backend computes
+// each candidate's local count as popcount(item-AND ∩ DQ) — one scratch
+// bitmap per range keeps the candidate loop allocation-free — while
+// charging the same record-check price as the scalar row scan.
 void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
                     std::vector<QualifiedItemset>* qualified,
                     uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
+  Bitmap scratch;
+  if (ctx->vertical != nullptr) {
+    scratch = Bitmap(ctx->vertical->num_records());
+  }
   for (uint32_t id : candidates) {
     if (!ctx->MipAttrsAllowed(id)) continue;
     const Mip& mip = ctx->index.mip(id);
     uint32_t count = 0;
-    for (Tid t : ctx->subset.tids) {
-      if (dataset.ContainsAll(t, mip.items)) ++count;
+    if (ctx->vertical != nullptr) {
+      count = BitmapLocalCount(*ctx->vertical, ctx->dq_bitmap, mip.items,
+                               &scratch);
+    } else {
+      for (Tid t : ctx->subset.tids) {
+        if (dataset.ContainsAll(t, mip.items)) ++count;
+      }
     }
     *record_checks += ctx->subset.tids.size();
     if (count >= ctx->local_min_count) {
@@ -166,12 +222,32 @@ void VerifyRange(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
                  uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
   for (const QualifiedItemset& q : qualified) {
-    LocalSubsetCounter counter(dataset, ctx->index.mip(q.mip_id).items,
-                               ctx->subset.tids);
-    GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                            rule_stats);
-    *record_checks += counter.record_checks();
+    const Itemset& items = ctx->index.mip(q.mip_id).items;
+    if (ctx->vertical != nullptr) {
+      BitmapSubsetCounter counter(*ctx->vertical, ctx->dq_bitmap, items,
+                                  ctx->subset.tids);
+      GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                              rule_stats);
+      *record_checks += counter.record_checks();
+    } else {
+      LocalSubsetCounter counter(dataset, items, ctx->subset.tids);
+      GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                              rule_stats);
+      *record_checks += counter.record_checks();
+    }
   }
+}
+
+// One SUPPORTED-VERIFY candidate, shared by both backends: the counter's
+// full count decides qualification, then the same counter feeds rule
+// generation — one pass does both jobs.
+template <typename Counter>
+void SupportedVerifyOne(PlanContext* ctx, const Counter& counter, RuleSet* out,
+                        RuleGenStats* rule_stats, uint64_t* record_checks) {
+  *record_checks += counter.record_checks();
+  if (counter.CountFull() < ctx->local_min_count) return;
+  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                          rule_stats);
 }
 
 void SupportedVerifyRange(PlanContext* ctx,
@@ -180,12 +256,15 @@ void SupportedVerifyRange(PlanContext* ctx,
   const Dataset& dataset = ctx->index.dataset();
   for (uint32_t id : candidates) {
     if (!ctx->MipAttrsAllowed(id)) continue;
-    LocalSubsetCounter counter(dataset, ctx->index.mip(id).items,
-                               ctx->subset.tids);
-    *record_checks += counter.record_checks();
-    if (counter.CountFull() < ctx->local_min_count) continue;
-    GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                            rule_stats);
+    const Itemset& items = ctx->index.mip(id).items;
+    if (ctx->vertical != nullptr) {
+      BitmapSubsetCounter counter(*ctx->vertical, ctx->dq_bitmap, items,
+                                  ctx->subset.tids);
+      SupportedVerifyOne(ctx, counter, out, rule_stats, record_checks);
+    } else {
+      LocalSubsetCounter counter(dataset, items, ctx->subset.tids);
+      SupportedVerifyOne(ctx, counter, out, rule_stats, record_checks);
+    }
   }
 }
 

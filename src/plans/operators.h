@@ -29,6 +29,19 @@ struct QualifiedItemset {
   uint32_t local_count = 0;
 };
 
+/// Record-level execution backend. kScalar runs the row scans (horizontal
+/// layout); kBitmap runs the same operators word-parallel on the vertical
+/// bitmap index (DQ as an AND of range-ORs, support counts as popcounts).
+/// Both produce byte-identical rule sets and effort counters — the
+/// counters price semantic record checks, not machine operations, so
+/// explain output and optimizer-accuracy comparisons stay backend-free.
+enum class ExecBackend {
+  kScalar,
+  kBitmap,
+};
+
+const char* ExecBackendName(ExecBackend backend);
+
 /// Which algorithm the ARM baseline plan mines the focal subset with.
 /// CHARM (closed itemsets) is the paper's choice; the FP-growth variant
 /// mines all frequent itemsets and intersects them with the prestored
@@ -56,6 +69,12 @@ struct PlanContext {
   /// are byte-identical to the sequential execution.
   ThreadPool* pool = nullptr;
 
+  /// Non-null iff this execution runs on the kBitmap backend; points at
+  /// the index's vertical bitmap form, with `dq_bitmap` the materialized
+  /// focal subset over the same universe.
+  const VerticalIndex* vertical = nullptr;
+  Bitmap dq_bitmap;
+
   std::vector<bool> item_attr_mask;
   FocalSubset subset;
   uint32_t local_min_count = 0;
@@ -67,14 +86,21 @@ struct PlanContext {
   uint64_t local_cfis = 0;  // ARM plan only
 
   /// Materializes DQ and derives the absolute local support threshold.
+  /// kBitmap materializes through the vertical index (word-range sharded
+  /// on `pool`); the resulting tid list — and the record-check price —
+  /// is identical to the scalar scan's.
   PlanContext(const MipIndex& index, const LocalizedQuery& query,
-              const RuleGenOptions& rulegen);
+              const RuleGenOptions& rulegen, ThreadPool* pool = nullptr,
+              ExecBackend backend = ExecBackend::kScalar);
 
   /// Reuses an already-materialized focal subset (multi-query execution:
   /// queries sharing a RANGE share one SELECT pass). `shared.box` must
-  /// equal the query's box.
+  /// equal the query's box. kBitmap re-derives the DQ bitmap from the
+  /// shared tid list (cheap: one pass over the tids).
   PlanContext(const MipIndex& index, const LocalizedQuery& query,
-              const RuleGenOptions& rulegen, FocalSubset shared);
+              const RuleGenOptions& rulegen, FocalSubset shared,
+              ThreadPool* pool = nullptr,
+              ExecBackend backend = ExecBackend::kScalar);
 
   /// True iff every item of the MIP lies on an allowed item attribute.
   bool MipAttrsAllowed(uint32_t mip_id) const;

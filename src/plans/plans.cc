@@ -75,10 +75,10 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
   Timer stage;
   PlanContext ctx =
       exec.shared_subset != nullptr
-          ? PlanContext(index, query, exec.rulegen, *exec.shared_subset)
-          : PlanContext(index, query, exec.rulegen);
+          ? PlanContext(index, query, exec.rulegen, *exec.shared_subset,
+                        exec.pool, exec.backend)
+          : PlanContext(index, query, exec.rulegen, exec.pool, exec.backend);
   ctx.arm_miner = exec.arm_miner;
-  ctx.pool = exec.pool;
   stats.select_ms = stage.ElapsedMillis();
   stats.subset_size = ctx.subset.size();
   stats.local_min_count = ctx.local_min_count;

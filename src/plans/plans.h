@@ -72,6 +72,10 @@ struct PlanExecOptions {
   /// sequential path. Parallel execution is byte-identical to sequential
   /// (rules, canonical order, and every effort counter).
   ThreadPool* pool = nullptr;
+  /// Record-level execution backend; kBitmap runs the operators on the
+  /// index's vertical bitmaps. Backends are byte-identical in results and
+  /// effort counters, differing only in wall time.
+  ExecBackend backend = ExecBackend::kScalar;
 };
 
 /// Executes one plan end to end. All six plans return the same rule set

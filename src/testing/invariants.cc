@@ -50,6 +50,47 @@ std::string DiffRuleSets(const Schema& schema, const RuleSet& got,
   return out;
 }
 
+/// First-difference summary between the deterministic effort counters of
+/// two runs of the same plan (timings are excluded: they are the only
+/// fields allowed to differ between backends).
+std::string DiffEffort(const PlanStats& got, const PlanStats& want) {
+  auto diff = [](const char* name, uint64_t g, uint64_t w) {
+    return StrFormat("%s: %llu vs %llu expected", name,
+                     static_cast<unsigned long long>(g),
+                     static_cast<unsigned long long>(w));
+  };
+  if (got.subset_size != want.subset_size)
+    return diff("subset_size", got.subset_size, want.subset_size);
+  if (got.local_min_count != want.local_min_count)
+    return diff("local_min_count", got.local_min_count, want.local_min_count);
+  if (got.candidates_search != want.candidates_search)
+    return diff("candidates_search", got.candidates_search,
+                want.candidates_search);
+  if (got.candidates_contained != want.candidates_contained)
+    return diff("candidates_contained", got.candidates_contained,
+                want.candidates_contained);
+  if (got.candidates_qualified != want.candidates_qualified)
+    return diff("candidates_qualified", got.candidates_qualified,
+                want.candidates_qualified);
+  if (got.record_checks != want.record_checks)
+    return diff("record_checks", got.record_checks, want.record_checks);
+  if (got.rtree_nodes_visited != want.rtree_nodes_visited)
+    return diff("rtree_nodes_visited", got.rtree_nodes_visited,
+                want.rtree_nodes_visited);
+  if (got.rtree_pruned_by_support != want.rtree_pruned_by_support)
+    return diff("rtree_pruned_by_support", got.rtree_pruned_by_support,
+                want.rtree_pruned_by_support);
+  if (got.rules_considered != want.rules_considered)
+    return diff("rules_considered", got.rules_considered,
+                want.rules_considered);
+  if (got.rules_emitted != want.rules_emitted)
+    return diff("rules_emitted", got.rules_emitted, want.rules_emitted);
+  if (got.itemsets_skipped != want.itemsets_skipped)
+    return diff("itemsets_skipped", got.itemsets_skipped,
+                want.itemsets_skipped);
+  return {};
+}
+
 using RuleKey = std::pair<Itemset, Itemset>;
 
 std::map<RuleKey, const Rule*> IndexRules(const RuleSet& rules) {
@@ -110,11 +151,13 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
   const RuleGenOptions rulegen = WideRuleGen(options.oracle);
 
   auto run_plan = [&](const MipIndex& idx, PlanKind kind,
-                      const LocalizedQuery& query,
-                      ThreadPool* pool) -> Result<PlanResult> {
+                      const LocalizedQuery& query, ThreadPool* pool,
+                      ExecBackend backend =
+                          ExecBackend::kScalar) -> Result<PlanResult> {
     PlanExecOptions exec;
     exec.rulegen = rulegen;
     exec.pool = pool;
+    exec.backend = backend;
     return ExecutePlan(kind, idx, query, exec);
   };
 
@@ -233,6 +276,57 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
                              .c_str()));
         }
       }
+
+      // Backend equivalence: the bitmap backend must match the scalar run
+      // of the same plan byte-for-byte — rules *and* effort counters — at
+      // every pool size.
+      if (options.check_backends) {
+        auto bitmap = run_plan(*index, kind, query, nullptr,
+                               ExecBackend::kBitmap);
+        if (!bitmap.ok()) {
+          fail("backend-equivalence", qi,
+               StrFormat("%s bitmap: %s", PlanKindName(kind),
+                         bitmap.status().ToString().c_str()));
+        } else {
+          if (!bitmap->rules.SameAs(result->rules)) {
+            fail("backend-equivalence", qi,
+                 StrFormat("%s bitmap: %s", PlanKindName(kind),
+                           DiffRuleSets(schema, bitmap->rules, result->rules)
+                               .c_str()));
+          }
+          std::string effort = DiffEffort(bitmap->stats, result->stats);
+          if (!effort.empty()) {
+            fail("backend-equivalence", qi,
+                 StrFormat("%s bitmap effort: %s", PlanKindName(kind),
+                           effort.c_str()));
+          }
+        }
+        for (auto& pool : pools) {
+          auto parallel = run_plan(*index, kind, query, pool.get(),
+                                   ExecBackend::kBitmap);
+          if (!parallel.ok()) {
+            fail("backend-equivalence", qi,
+                 StrFormat("%s bitmap with %u threads: %s", PlanKindName(kind),
+                           pool->parallelism(),
+                           parallel.status().ToString().c_str()));
+            continue;
+          }
+          if (!parallel->rules.SameAs(result->rules)) {
+            fail("backend-equivalence", qi,
+                 StrFormat("%s bitmap with %u threads: %s", PlanKindName(kind),
+                           pool->parallelism(),
+                           DiffRuleSets(schema, parallel->rules, result->rules)
+                               .c_str()));
+          }
+          std::string effort = DiffEffort(parallel->stats, result->stats);
+          if (!effort.empty()) {
+            fail("backend-equivalence", qi,
+                 StrFormat("%s bitmap effort with %u threads: %s",
+                           PlanKindName(kind), pool->parallelism(),
+                           effort.c_str()));
+          }
+        }
+      }
     }
 
     if (options.check_serialize && loaded.ok()) {
@@ -242,6 +336,20 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
       } else if (!reloaded->rules.SameAs(baseline->rules)) {
         fail("serialize-roundtrip", qi,
              DiffRuleSets(schema, reloaded->rules, baseline->rules));
+      }
+      // The reloaded index carries the deserialized vertical bitmaps; a
+      // bitmap-backend run over it exercises the v3 load path end to end.
+      if (options.check_backends) {
+        auto bitmap = run_plan(*loaded, PlanKind::kSEV, query, nullptr,
+                               ExecBackend::kBitmap);
+        if (!bitmap.ok()) {
+          fail("serialize-roundtrip", qi,
+               "bitmap on reloaded index: " + bitmap.status().ToString());
+        } else if (!bitmap->rules.SameAs(baseline->rules)) {
+          fail("serialize-roundtrip", qi,
+               "bitmap on reloaded index: " +
+                   DiffRuleSets(schema, bitmap->rules, baseline->rules));
+        }
       }
     }
 

@@ -29,6 +29,7 @@ struct CheckOptions {
   bool check_serialize = true;
   bool check_monotonic = true;
   bool check_containment = true;
+  bool check_backends = true;
   OracleOptions oracle;
 };
 
@@ -43,6 +44,9 @@ struct CheckOptions {
 ///                       surviving rules keep their exact counts
 ///   containment         shrinking the focal box never increases any
 ///                       absolute count of a rule present in both results
+///   backend-equivalence the bitmap execution backend returns byte-
+///                       identical rules AND effort counters to the scalar
+///                       one, at every pool size and on a reloaded index
 std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
                                  const CheckOptions& options = {});
 

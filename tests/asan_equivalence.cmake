@@ -1,0 +1,35 @@
+# Configures an address-sanitized build of the tree in BUILD_DIR, builds
+# the backend-equivalence suite, and runs it. Driven by the
+# `asan_equivalence` ctest entry (see tests/CMakeLists.txt); a failure at
+# any step fails the test. Expects SOURCE_DIR and BUILD_DIR.
+
+foreach(var SOURCE_DIR BUILD_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "asan_equivalence.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCOLARM_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "ASan configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target bitmap_test backend_equivalence_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "ASan build failed")
+endif()
+
+foreach(test bitmap_test backend_equivalence_test)
+  execute_process(
+    COMMAND ${BUILD_DIR}/tests/${test}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR "${test} failed under AddressSanitizer")
+  endif()
+endforeach()

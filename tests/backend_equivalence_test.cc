@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/engine.h"
+#include "data/salary_dataset.h"
+#include "data/synthetic.h"
+#include "plans/plans.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+RuleGenOptions WideRuleGen() {
+  RuleGenOptions options;
+  options.max_itemset_length = 31;
+  return options;
+}
+
+// Deterministic effort counters of a plan run; timings excluded. The
+// backends must agree on every one of these, not just on the rules.
+std::vector<uint64_t> Effort(const PlanStats& stats) {
+  return {stats.subset_size,          stats.local_min_count,
+          stats.candidates_search,    stats.candidates_contained,
+          stats.candidates_qualified, stats.record_checks,
+          stats.rtree_nodes_visited,  stats.rtree_pruned_by_support,
+          stats.rules_considered,     stats.rules_emitted,
+          stats.itemsets_skipped};
+}
+
+// Runs every plan on both backends at 1, 2, and 8 threads and demands
+// byte-identical rule sets and effort counters everywhere. `queries` come
+// from the caller so each dataset exercises its interesting boxes.
+void ExpectBackendsEquivalent(const MipIndex& index,
+                              const std::vector<LocalizedQuery>& queries) {
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  std::vector<ThreadPool*> pools = {nullptr, &pool2, &pool8};
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const LocalizedQuery& query = queries[qi];
+    ASSERT_TRUE(query.Validate(index.dataset().schema()).ok());
+    for (PlanKind kind : kAllPlans) {
+      PlanExecOptions scalar_exec;
+      scalar_exec.rulegen = WideRuleGen();
+      auto scalar = ExecutePlan(kind, index, query, scalar_exec);
+      ASSERT_TRUE(scalar.ok()) << PlanKindName(kind);
+
+      for (ThreadPool* pool : pools) {
+        for (ExecBackend backend :
+             {ExecBackend::kScalar, ExecBackend::kBitmap}) {
+          PlanExecOptions exec;
+          exec.rulegen = WideRuleGen();
+          exec.pool = pool;
+          exec.backend = backend;
+          auto run = ExecutePlan(kind, index, query, exec);
+          ASSERT_TRUE(run.ok()) << PlanKindName(kind);
+          const char* label = ExecBackendName(backend);
+          const unsigned threads = pool ? pool->parallelism() : 1;
+          EXPECT_TRUE(run->rules.SameAs(scalar->rules))
+              << PlanKindName(kind) << " " << label << " x" << threads
+              << " query " << qi << ": " << run->rules.rules.size()
+              << " rules vs " << scalar->rules.rules.size();
+          EXPECT_EQ(Effort(run->stats), Effort(scalar->stats))
+              << PlanKindName(kind) << " " << label << " x" << threads
+              << " query " << qi;
+        }
+      }
+    }
+  }
+}
+
+LocalizedQuery MakeQuery(double minsupp, double minconf,
+                         std::vector<RangeSelection> ranges,
+                         std::vector<AttrId> item_attrs = {}) {
+  LocalizedQuery query;
+  query.minsupp = minsupp;
+  query.minconf = minconf;
+  query.ranges = std::move(ranges);
+  query.item_attrs = std::move(item_attrs);
+  return query;
+}
+
+TEST(BackendEquivalenceTest, RandomDatasets) {
+  for (uint64_t seed : {3u, 17u}) {
+    Dataset dataset = RandomDataset(seed, 400, 5, 4);
+    auto index = MipIndex::Build(dataset, {.primary_support = 0.08});
+    ASSERT_TRUE(index.ok());
+    std::vector<LocalizedQuery> queries = {
+        MakeQuery(0.1, 0.5, {{0, 0, 1}}),
+        MakeQuery(0.05, 0.3, {{0, 0, 2}, {2, 1, 3}}),
+        MakeQuery(0.2, 0.8, {{1, 0, 0}}),
+        MakeQuery(0.1, 0.5, {}),                       // unconstrained box
+        MakeQuery(0.1, 0.5, {{3, 0, 1}}, {0, 1, 2, 3}),
+    };
+    ExpectBackendsEquivalent(*index, queries);
+  }
+}
+
+TEST(BackendEquivalenceTest, SalaryDataset) {
+  Dataset dataset = MakeSalaryDataset();
+  auto index = MipIndex::Build(dataset, {.primary_support = 0.2});
+  ASSERT_TRUE(index.ok());
+  // The paper's running example: the female Seattle subset (plus the
+  // trivial unconstrained query).
+  std::vector<LocalizedQuery> queries = {
+      MakeQuery(0.3, 0.6, {{2, 1, 1}, {3, 1, 1}}),
+      MakeQuery(0.3, 0.6, {}),
+  };
+  ExpectBackendsEquivalent(*index, queries);
+}
+
+TEST(BackendEquivalenceTest, SyntheticPlantedPattern) {
+  SyntheticConfig config;
+  config.seed = 5;
+  config.num_records = 1500;
+  config.num_attributes = 8;
+  config.region_domain = 10;
+  config.local_patterns = {{0, 2, {2, 3, 4}, 1, 0.9}};
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  auto index = MipIndex::Build(*dataset, {.primary_support = 0.05});
+  ASSERT_TRUE(index.ok());
+  std::vector<LocalizedQuery> queries = {
+      MakeQuery(0.15, 0.6, {{0, 0, 2}}),   // inside the planted region
+      MakeQuery(0.15, 0.6, {{0, 3, 9}}),   // outside it
+      MakeQuery(0.05, 0.3, {{0, 0, 4}, {1, 0, 1}}),
+  };
+  ExpectBackendsEquivalent(*index, queries);
+}
+
+// The engine-level knob: two engines differing only in `backend` agree on
+// every optimizer-chosen answer, and the bitmap engine agrees with the
+// scalar reference per forced plan.
+TEST(BackendEquivalenceTest, EngineBackendKnob) {
+  Dataset dataset = RandomDataset(29, 300, 5, 4);
+  EngineOptions scalar_options;
+  scalar_options.index.primary_support = 0.08;
+  scalar_options.num_threads = 1;
+  scalar_options.rulegen = WideRuleGen();
+  EngineOptions bitmap_options = scalar_options;
+  bitmap_options.backend = ExecBackend::kBitmap;
+
+  auto scalar = Engine::Build(dataset, scalar_options);
+  auto bitmap = Engine::Build(dataset, bitmap_options);
+  ASSERT_TRUE(scalar.ok());
+  ASSERT_TRUE(bitmap.ok());
+
+  std::vector<LocalizedQuery> queries = {
+      MakeQuery(0.1, 0.5, {{0, 0, 1}}),
+      MakeQuery(0.05, 0.4, {{1, 0, 2}, {4, 0, 1}}),
+  };
+  for (const LocalizedQuery& query : queries) {
+    auto a = (*scalar)->Execute(query);
+    auto b = (*bitmap)->Execute(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(b->rules.SameAs(a->rules));
+    for (PlanKind kind : kAllPlans) {
+      auto fa = (*scalar)->ExecuteWithPlan(query, kind);
+      auto fb = (*bitmap)->ExecuteWithPlan(query, kind);
+      ASSERT_TRUE(fa.ok());
+      ASSERT_TRUE(fb.ok());
+      EXPECT_TRUE(fb->rules.SameAs(fa->rules)) << PlanKindName(kind);
+      EXPECT_EQ(Effort(fb->stats), Effort(fa->stats)) << PlanKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colarm

@@ -62,6 +62,43 @@ TEST(SerializeTest, LoadedIndexAnswersQueriesIdentically) {
   std::remove(path.c_str());
 }
 
+// Format v3 persists the vertical bitmap index; a load must hand back
+// bitmaps identical to a fresh build and serve the kBitmap backend
+// without rebuilding anything.
+TEST(SerializeTest, RoundTripPreservesVerticalIndex) {
+  auto data = std::make_unique<Dataset>(RandomDataset(14, 200, 5, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.2});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("vertical.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  auto loaded = LoadMipIndex(*data, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const VerticalIndex& a = built->vertical();
+  const VerticalIndex& b = loaded->vertical();
+  ASSERT_FALSE(b.empty());
+  ASSERT_EQ(b.num_records(), a.num_records());
+  ASSERT_EQ(b.num_items(), a.num_items());
+  for (ItemId i = 0; i < a.num_items(); ++i) {
+    EXPECT_EQ(b.item(i), a.item(i)) << "item " << i;
+  }
+
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 1}};
+  query.minsupp = 0.3;
+  query.minconf = 0.5;
+  for (PlanKind kind : kAllPlans) {
+    PlanExecOptions exec;
+    exec.backend = ExecBackend::kBitmap;
+    auto scalar = ExecutePlan(kind, *built, query);
+    auto bitmap = ExecutePlan(kind, *loaded, query, exec);
+    ASSERT_TRUE(scalar.ok());
+    ASSERT_TRUE(bitmap.ok());
+    EXPECT_TRUE(bitmap->rules.SameAs(scalar->rules)) << PlanKindName(kind);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, RejectsWrongDataset) {
   auto data = std::make_unique<Dataset>(RandomDataset(3, 100, 4, 3));
   auto other = std::make_unique<Dataset>(RandomDataset(4, 100, 4, 3));
@@ -190,6 +227,55 @@ TEST(SerializeTest, TrailingGarbageIsRejected) {
   ASSERT_TRUE(SaveMipIndex(*built, path).ok());
   Spit(path, Slurp(path) + "x");
   EXPECT_FALSE(LoadMipIndex(*data, path).ok());
+  std::remove(path.c_str());
+}
+
+// A v2 cache (no vertical section) is rejected with a clean version error
+// rather than misparsed...
+TEST(SerializeTest, OlderVersionIsRejected) {
+  auto data = std::make_unique<Dataset>(RandomDataset(15, 80, 4, 3));
+  auto built = MipIndex::Build(*data, {.primary_support = 0.25});
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("old_version.clrm");
+  ASSERT_TRUE(SaveMipIndex(*built, path).ok());
+  std::string full = Slurp(path);
+  const uint32_t old_version = 2;  // version field sits after the magic
+  std::memcpy(&full[4], &old_version, sizeof(old_version));
+  Spit(path, full);
+  auto loaded = LoadMipIndex(*data, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("unsupported index version"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+// ...and the engine treats such a cache as absent: it rebuilds, refreshes
+// the file in the current format, and answers normally.
+TEST(SerializeTest, EngineFallsBackFromOlderCacheVersion) {
+  auto data = std::make_unique<Dataset>(RandomDataset(16, 120, 4, 3));
+  std::string path = TempPath("old_cache.clrm");
+
+  EngineOptions options;
+  options.index.primary_support = 0.25;
+  options.calibrate = false;
+  options.index_cache_path = path;
+  auto first = Engine::Build(*data, options);
+  ASSERT_TRUE(first.ok());
+
+  // Downgrade the cache's version field in place.
+  std::string full = Slurp(path);
+  const uint32_t old_version = 2;
+  std::memcpy(&full[4], &old_version, sizeof(old_version));
+  Spit(path, full);
+
+  auto second = Engine::Build(*data, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->index().num_mips(), (*first)->index().num_mips());
+
+  // The rebuild refreshed the cache: it loads again in the current format.
+  auto reloaded = LoadMipIndex(*data, path);
+  EXPECT_TRUE(reloaded.ok()) << reloaded.status().ToString();
   std::remove(path.c_str());
 }
 

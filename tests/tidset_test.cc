@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "mining/tidset.h"
 
@@ -36,6 +38,61 @@ TEST(TidsetTest, Subset) {
   EXPECT_TRUE(TidsetIsSubset(Tidset{}, Tidset{1}));
   EXPECT_TRUE(TidsetIsSubset(Tidset{2, 4}, Tidset{1, 2, 3, 4}));
   EXPECT_FALSE(TidsetIsSubset(Tidset{2, 5}, Tidset{1, 2, 3, 4}));
+}
+
+// Size-skewed operands route through the galloping (exponential-probe)
+// path; heavily random trials pin it to the merge loop's answers.
+TEST(TidsetTest, GallopingIntersectSizeMatchesMerge) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tidset small;
+    Tidset big;
+    // |big| > 32 * |small| forces the gallop on every call.
+    for (Tid t = 0; t < 4000; ++t) {
+      if (rng.Bernoulli(0.5)) big.push_back(t);
+      if (rng.Bernoulli(0.005)) small.push_back(t);
+    }
+    EXPECT_EQ(TidsetIntersectSize(small, big),
+              TidsetIntersect(small, big).size());
+    EXPECT_EQ(TidsetIntersectSize(big, small),
+              TidsetIntersect(small, big).size());
+  }
+  // Edge shapes: empty probe side, probe past the end of the big side,
+  // single elements before, inside, and after the big side's range.
+  Tidset big;
+  for (Tid t = 100; t < 2100; ++t) big.push_back(t);
+  EXPECT_EQ(TidsetIntersectSize(Tidset{}, big), 0u);
+  EXPECT_EQ(TidsetIntersectSize(Tidset{5}, big), 0u);
+  EXPECT_EQ(TidsetIntersectSize(Tidset{100}, big), 1u);
+  EXPECT_EQ(TidsetIntersectSize(Tidset{2099}, big), 1u);
+  EXPECT_EQ(TidsetIntersectSize(Tidset{3000}, big), 0u);
+  EXPECT_EQ(TidsetIntersectSize(Tidset{5, 150, 3000}, big), 1u);
+}
+
+TEST(TidsetTest, GallopingSubsetMatchesIncludes) {
+  Rng rng(19);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tidset big;
+    Tidset sub;
+    for (Tid t = 0; t < 4000; ++t) {
+      if (rng.Bernoulli(0.5)) {
+        big.push_back(t);
+        if (rng.Bernoulli(0.01)) sub.push_back(t);
+      }
+    }
+    EXPECT_TRUE(TidsetIsSubset(sub, big));
+    if (!sub.empty()) {
+      // Perturb one element off the big set: no longer a subset.
+      Tidset broken = sub;
+      broken[broken.size() / 2] += 1;
+      std::sort(broken.begin(), broken.end());
+      bool expected = std::includes(big.begin(), big.end(), broken.begin(),
+                                    broken.end());
+      EXPECT_EQ(TidsetIsSubset(broken, big), expected);
+    }
+  }
+  // A larger "subset" can never qualify.
+  EXPECT_FALSE(TidsetIsSubset(Tidset{1, 2, 3}, Tidset{1, 2}));
 }
 
 TEST(TidsetTest, Sum) {
