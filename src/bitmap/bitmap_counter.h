@@ -50,6 +50,12 @@ class BitmapSubsetCounter {
   uint32_t base_size() const { return static_cast<uint32_t>(dq_tids_.size()); }
   uint64_t record_checks() const { return record_checks_; }
 
+  /// Same contract (and table layout) as LocalSubsetCounter: true iff
+  /// subset_table() holds all 2^L subset counts, so either backend's table
+  /// feeds the session cache's count memo interchangeably.
+  bool has_subset_table() const { return use_mask_; }
+  std::span<const uint32_t> subset_table() const { return superset_counts_; }
+
  private:
   uint32_t MaskOf(std::span<const ItemId> subset) const;
 

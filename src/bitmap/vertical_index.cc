@@ -84,4 +84,42 @@ Bitmap VerticalIndex::MaterializeDq(const Schema& schema, const Rect& box,
   return dq;
 }
 
+void VerticalIndex::NarrowDq(const Schema& schema, const Rect& box,
+                             const Rect& outer, Bitmap* dq,
+                             ThreadPool* pool) const {
+  // Only attributes whose interval narrowed relative to the outer box need
+  // re-testing; tightest interval first, as in MaterializeDq.
+  std::vector<AttrId> narrowed;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (box.lo(a) != outer.lo(a) || box.hi(a) != outer.hi(a)) {
+      narrowed.push_back(a);
+    }
+  }
+  if (narrowed.empty()) return;
+  std::sort(narrowed.begin(), narrowed.end(),
+            [&](AttrId a, AttrId b) { return box.Extent(a) < box.Extent(b); });
+
+  const size_t words = dq->num_words();
+  const size_t chunks =
+      IsParallel(pool) && words >= 64
+          ? std::min(words, static_cast<size_t>(pool->parallelism()) * 4)
+          : 1;
+  ParallelChunks(pool, words, chunks, [&](size_t, size_t begin, size_t end) {
+    const auto word_begin = static_cast<uint32_t>(begin);
+    const auto word_end = static_cast<uint32_t>(end);
+    Bitmap range_or(num_records_);
+    for (AttrId a : narrowed) {
+      const ItemId base = schema.item_base(a);
+      for (uint64_t* w = range_or.mutable_words() + word_begin;
+           w != range_or.mutable_words() + word_end; ++w) {
+        *w = 0;
+      }
+      for (ValueId v = box.lo(a); v <= box.hi(a); ++v) {
+        range_or.OrWithRange(items_[base + v], word_begin, word_end);
+      }
+      dq->AndWithRange(range_or, word_begin, word_end);
+    }
+  });
+}
+
 }  // namespace colarm

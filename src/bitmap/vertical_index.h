@@ -45,6 +45,17 @@ class VerticalIndex {
   Bitmap MaterializeDq(const Schema& schema, const Rect& box,
                        ThreadPool* pool) const;
 
+  /// Incremental form of MaterializeDq for the session cache's containment
+  /// tier: `dq` already holds the subset of `outer` (a box containing
+  /// `box`); AND in the range-ORs of only the attributes whose interval
+  /// actually narrowed. Attributes with identical intervals are already
+  /// reflected in `dq` and are skipped. Word-range sharded like
+  /// MaterializeDq; the result equals MaterializeDq(schema, box, ...) ∩ dq,
+  /// which by containment equals the full materialization of `box` within
+  /// the same universe.
+  void NarrowDq(const Schema& schema, const Rect& box, const Rect& outer,
+                Bitmap* dq, ThreadPool* pool) const;
+
  private:
   uint32_t num_records_ = 0;
   std::vector<Bitmap> items_;

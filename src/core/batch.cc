@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/timer.h"
+#include "core/query_cache.h"
 
 namespace colarm {
 
@@ -26,19 +27,6 @@ std::string QueryKey(const LocalizedQuery& query) {
   key.push_back('|');
   key.append(reinterpret_cast<const char*>(&query.minsupp), sizeof(double));
   key.append(reinterpret_cast<const char*>(&query.minconf), sizeof(double));
-  return key;
-}
-
-// Box key: canonical per-attribute intervals (so range order and redundant
-// full-domain selections do not defeat sharing).
-std::string BoxKey(const Rect& box) {
-  std::string key;
-  for (uint32_t d = 0; d < box.dims(); ++d) {
-    ValueId lo = box.lo(d);
-    ValueId hi = box.hi(d);
-    key.append(reinterpret_cast<const char*>(&lo), sizeof(ValueId));
-    key.append(reinterpret_cast<const char*>(&hi), sizeof(ValueId));
-  }
   return key;
 }
 
@@ -86,16 +74,18 @@ Result<BatchResult> BatchExecutor::Execute(
     pool = own_pool.get();
   }
 
-  if (!IsParallel(pool)) {
+  QueryCache* cache = engine_->cache();
+  if (cache == nullptr && !IsParallel(pool)) {
     COLARM_RETURN_IF_ERROR(SequentialExecute(queries, options, &batch));
     batch.total_ms = timer.ElapsedMillis();
     return batch;
   }
 
-  // Parallel path. Planning stays sequential and cheap: detect duplicates
-  // and group unique queries by focal box, reproducing the sequential
-  // sharing counters exactly (first occurrence executes, every later
-  // query with the same box counts as shared).
+  // Planned path (any parallelism; with a null pool every ParallelFor runs
+  // inline in order). Planning stays sequential and cheap: detect
+  // duplicates and group unique queries by focal box, reproducing the
+  // sequential sharing counters exactly (first occurrence executes, every
+  // later query with the same box counts as shared).
   const size_t n = queries.size();
   std::vector<size_t> rep(n);  // representative executing each query's work
   std::vector<size_t> unique;  // indices that actually execute
@@ -113,17 +103,62 @@ Result<BatchResult> BatchExecutor::Execute(
     unique.push_back(i);
   }
 
-  // Distinct focal boxes of the unique queries, each materialized once —
-  // concurrently, since the SELECT scans are independent.
+  // Focal subsets and (with a session cache) per-query decisions + memo
+  // transactions. With a cache, all cache acquisitions happen here — in
+  // first-appearance input order, before any parallel execution — so cache
+  // state transitions (recency, insertions, telemetry) are identical for
+  // every thread count.
   std::vector<FocalSubset> boxes;
   std::vector<const FocalSubset*> shared(n, nullptr);
-  if (options.share_subsets) {
+  std::vector<OptimizerDecision> decisions(n);
+  std::vector<std::unique_ptr<CountMemoTxn>> txns(n);
+  std::vector<uint64_t> select_checks(n, 0);
+  CacheTelemetry before;
+  if (cache != nullptr) {
+    before = cache->telemetry();
+    const bool memo = cache->options().count_memo;
+    std::map<std::string, size_t> box_of;
+    std::vector<size_t> box_index(n, 0);
+    // Acquisitions append to `boxes`; pointers are taken only after the
+    // loop, when the vector is stable.
+    for (size_t i : unique) {
+      Rect box = queries[i].ToRect(schema);
+      CacheHint hint = cache->Probe(box);
+      decisions[i] = engine_->optimizer().Choose(queries[i], &hint);
+      if (memo) txns[i] = cache->BeginTxn(box);
+      if (options.share_subsets) {
+        auto [it, inserted] =
+            box_of.try_emplace(CanonicalBoxKey(box), boxes.size());
+        if (inserted) {
+          // Shared subsets carry no per-query SELECT charge (the cache-less
+          // batch materializes them outside any query too).
+          boxes.push_back(
+              cache->Acquire(box, engine_->options().backend, pool, nullptr)
+                  .subset);
+        } else {
+          ++batch.subsets_shared;
+        }
+        box_index[i] = it->second;
+      } else {
+        // Unshared mode: every unique query pays the cold per-query SELECT
+        // price, exactly like a cache-less run.
+        box_index[i] = boxes.size();
+        boxes.push_back(cache
+                            ->Acquire(box, engine_->options().backend, pool,
+                                      &select_checks[i])
+                            .subset);
+      }
+    }
+    for (size_t i : unique) shared[i] = &boxes[box_index[i]];
+  } else if (options.share_subsets) {
+    // Distinct focal boxes of the unique queries, each materialized once —
+    // concurrently, since the SELECT scans are independent.
     std::map<std::string, size_t> box_of;
     std::vector<Rect> rects;
     std::vector<size_t> box_index(n, 0);
     for (size_t i : unique) {
       Rect box = queries[i].ToRect(schema);
-      std::string key = BoxKey(box);
+      std::string key = CanonicalBoxKey(box);
       auto [it, inserted] = box_of.try_emplace(std::move(key), rects.size());
       if (inserted) {
         rects.push_back(std::move(box));
@@ -143,14 +178,18 @@ Result<BatchResult> BatchExecutor::Execute(
   // Unique queries execute concurrently (coarse units, dynamically
   // claimed); each also passes the pool down so a lone heavy query still
   // parallelizes its record-level operators. Results land in input slots,
-  // so input order is preserved by construction.
+  // so input order is preserved by construction. Memo reads see the
+  // pre-batch cache state (transactions commit below), so every query's
+  // result is independent of execution interleaving.
   std::vector<QueryResult> results(n);
   Status failure = Status::OK();
   std::mutex failure_mutex;
   ParallelFor(pool, unique.size(), [&](size_t u) {
     const size_t i = unique[u];
     const LocalizedQuery& query = queries[i];
-    OptimizerDecision decision = engine_->optimizer().Choose(query);
+    OptimizerDecision decision = cache != nullptr
+                                     ? decisions[i]
+                                     : engine_->optimizer().Choose(query);
     PlanKind kind =
         options.use_optimizer ? decision.chosen : options.forced_plan;
     PlanExecOptions exec;
@@ -159,6 +198,8 @@ Result<BatchResult> BatchExecutor::Execute(
     exec.shared_subset = shared[i];
     exec.pool = pool;
     exec.backend = engine_->options().backend;
+    exec.cache = cache;
+    exec.memo_txn = txns[i].get();
     Result<PlanResult> plan = ExecutePlan(kind, index, query, exec);
     if (!plan.ok()) {
       std::lock_guard<std::mutex> lock(failure_mutex);
@@ -169,9 +210,28 @@ Result<BatchResult> BatchExecutor::Execute(
     results[i].plan_used = kind;
     results[i].chosen_by_optimizer = options.use_optimizer;
     results[i].stats = plan->stats;
+    results[i].stats.record_checks += select_checks[i];
     results[i].decision = decision;
   });
   if (!failure.ok()) return failure;
+
+  // Commit the buffered count memos at the batch's sequential tail, in
+  // input order — the other half of the determinism contract.
+  if (cache != nullptr) {
+    for (size_t i : unique) {
+      if (txns[i] != nullptr) cache->Commit(txns[i].get());
+    }
+    const CacheTelemetry after = cache->telemetry();
+    batch.cache.hits_exact = after.hits_exact - before.hits_exact;
+    batch.cache.hits_containment =
+        after.hits_containment - before.hits_containment;
+    batch.cache.hits_count_memo =
+        after.hits_count_memo - before.hits_count_memo;
+    batch.cache.misses = after.misses - before.misses;
+    batch.cache.evictions = after.evictions - before.evictions;
+    batch.cache.bytes = after.bytes;
+    batch.cache.entries = after.entries;
+  }
 
   for (size_t i = 0; i < n; ++i) {
     batch.results.push_back(rep[i] == i ? std::move(results[i])
@@ -203,7 +263,7 @@ Status BatchExecutor::SequentialExecute(
     const FocalSubset* shared = nullptr;
     if (options.share_subsets) {
       Rect box = query.ToRect(schema);
-      std::string key = BoxKey(box);
+      std::string key = CanonicalBoxKey(box);
       auto it = subsets.find(key);
       if (it == subsets.end()) {
         it = subsets

@@ -35,6 +35,10 @@ struct BatchResult {
   /// Full executions avoided by duplicate-result reuse.
   uint32_t duplicates_reused = 0;
   double total_ms = 0.0;
+  /// Session-cache telemetry for the whole batch: hit/miss/eviction
+  /// counters as deltas attributable to the batch, bytes/entries as the
+  /// resident state after it. All zero when the engine has no cache.
+  CacheTelemetry cache;
 };
 
 /// Multi-query execution for localized rule mining — the paper's future
@@ -42,6 +46,14 @@ struct BatchResult {
 /// requests (same region at several thresholds, neighbouring regions,
 /// drill-downs); the executor shares work across them while keeping each
 /// result identical to standalone execution (tested invariant).
+///
+/// When the engine has a session cache, the batch participates in it:
+/// focal subsets are acquired through the cache sequentially, in first-
+/// appearance order, during planning (so cache state transitions are
+/// deterministic for any thread count), queries read the memo's pre-batch
+/// state during execution, and each query's memoized counts commit after
+/// execution in input order. Duplicate-reused queries are served from
+/// their representative's result and never touch the cache.
 class BatchExecutor {
  public:
   explicit BatchExecutor(const Engine& engine) : engine_(&engine) {}

@@ -51,49 +51,82 @@ Result<std::unique_ptr<Engine>> Engine::Build(const Dataset& dataset,
   engine->optimizer_ = std::make_unique<Optimizer>(
       CostModel(engine->index_->stats(), *engine->cardinality_, constants,
                 options.backend));
+  if (options.cache.enabled && options.cache.byte_budget > 0) {
+    engine->cache_ =
+        std::make_unique<QueryCache>(*engine->index_, options.cache);
+  }
   return engine;
 }
 
-Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
+Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
+                                bool use_optimizer) const {
   COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
-  OptimizerDecision decision = optimizer_->Choose(query);
+
+  // Probe before planning so the decision records what the SELECT stage
+  // will actually do; the memo transaction buffers this query's count
+  // discoveries and commits them after execution (standalone queries are
+  // the sequential points the cache's determinism contract requires).
+  CacheHint hint;
+  CacheTelemetry before;
+  std::unique_ptr<CountMemoTxn> txn;
+  if (cache_ != nullptr) {
+    const Rect box = query.ToRect(index_->dataset().schema());
+    hint = cache_->Probe(box);
+    before = cache_->telemetry();
+    if (options_.cache.count_memo) txn = cache_->BeginTxn(box);
+  }
+
+  OptimizerDecision decision =
+      optimizer_->Choose(query, cache_ != nullptr ? &hint : nullptr);
+  const PlanKind kind = use_optimizer ? decision.chosen : forced;
+
   PlanExecOptions exec;
   exec.rulegen = options_.rulegen;
   exec.arm_miner = options_.arm_miner;
   exec.pool = pool_.get();
   exec.backend = options_.backend;
-  Result<PlanResult> plan = ExecutePlan(decision.chosen, *index_, query, exec);
+  exec.cache = cache_.get();
+  exec.memo_txn = txn.get();
+  Result<PlanResult> plan = ExecutePlan(kind, *index_, query, exec);
   if (!plan.ok()) return plan.status();
+  if (txn != nullptr) cache_->Commit(txn.get());
+
   QueryResult result;
   result.rules = std::move(plan->rules);
-  result.plan_used = decision.chosen;
-  result.chosen_by_optimizer = true;
+  result.plan_used = kind;
+  result.chosen_by_optimizer = use_optimizer;
   result.stats = plan->stats;
   result.decision = decision;
+  if (cache_ != nullptr) {
+    const CacheTelemetry after = cache_->telemetry();
+    result.cache.hits_exact = after.hits_exact - before.hits_exact;
+    result.cache.hits_containment =
+        after.hits_containment - before.hits_containment;
+    result.cache.hits_count_memo =
+        after.hits_count_memo - before.hits_count_memo;
+    result.cache.misses = after.misses - before.misses;
+    result.cache.evictions = after.evictions - before.evictions;
+    result.cache.bytes = after.bytes;
+    result.cache.entries = after.entries;
+  }
   return result;
+}
+
+Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
+  return Run(query, PlanKind::kSEV, /*use_optimizer=*/true);
 }
 
 Result<QueryResult> Engine::ExecuteWithPlan(const LocalizedQuery& query,
                                             PlanKind kind) const {
-  COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
-  PlanExecOptions exec;
-  exec.rulegen = options_.rulegen;
-  exec.arm_miner = options_.arm_miner;
-  exec.pool = pool_.get();
-  exec.backend = options_.backend;
-  Result<PlanResult> plan = ExecutePlan(kind, *index_, query, exec);
-  if (!plan.ok()) return plan.status();
-  QueryResult result;
-  result.rules = std::move(plan->rules);
-  result.plan_used = kind;
-  result.chosen_by_optimizer = false;
-  result.stats = plan->stats;
-  result.decision = optimizer_->Choose(query);
-  return result;
+  return Run(query, kind, /*use_optimizer=*/false);
 }
 
 Result<OptimizerDecision> Engine::Explain(const LocalizedQuery& query) const {
   COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
+  if (cache_ != nullptr) {
+    CacheHint hint = cache_->Probe(query.ToRect(index_->dataset().schema()));
+    return optimizer_->Choose(query, &hint);
+  }
   return optimizer_->Choose(query);
 }
 

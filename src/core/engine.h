@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "core/optimizer.h"
+#include "core/query_cache.h"
 #include "mip/mip_index.h"
 #include "plans/plans.h"
 
@@ -37,6 +38,13 @@ struct EngineOptions {
   /// counters are byte-identical across any value — parallelism only
   /// changes wall time.
   unsigned num_threads = 0;
+  /// Session cache (core/query_cache.h): focal-subset reuse across
+  /// queries and batches plus the per-(box, itemset) count memo. Disabled
+  /// by default — the default options preserve cache-less behaviour
+  /// exactly. When enabled, warm execution stays byte-identical to cold in
+  /// rules, effort counters, and plan choice; only wall time and the
+  /// decision's cache-provenance field change.
+  QueryCacheOptions cache;
 };
 
 /// Outcome of one query: the localized rules plus which plan ran, why, and
@@ -47,6 +55,10 @@ struct QueryResult {
   bool chosen_by_optimizer = false;
   PlanStats stats;
   OptimizerDecision decision;
+  /// Session-cache telemetry for this query: hit/miss/eviction counters as
+  /// deltas attributable to the query, bytes/entries as the resident state
+  /// after it. All zero when the cache is disabled.
+  CacheTelemetry cache;
 };
 
 /// The top-level COLARM engine (Figure 2): owns the offline-built MIP-index
@@ -86,14 +98,22 @@ class Engine {
   /// The engine's worker pool; null when num_threads resolved to 1.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The session cache; null when disabled (the default) or when the byte
+  /// budget is 0. Shared with the BatchExecutor.
+  QueryCache* cache() const { return cache_.get(); }
+
  private:
   Engine() = default;
+
+  Result<QueryResult> Run(const LocalizedQuery& query, PlanKind forced,
+                          bool use_optimizer) const;
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<MipIndex> index_;
   std::unique_ptr<CardinalityEstimator> cardinality_;
   std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<QueryCache> cache_;
 };
 
 }  // namespace colarm

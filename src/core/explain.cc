@@ -15,6 +15,16 @@ std::string FormatDecision(const OptimizerDecision& decision) {
                      est.eliminate / 1e6, est.verify / 1e6, est.mine / 1e6,
                      est.plan == decision.chosen ? "   <== chosen" : "");
   }
+  if (decision.cache.tier != CacheTier::kNone) {
+    out += StrFormat(
+        "select served by session cache: %s of a %.0f-record cached subset",
+        CacheTierName(decision.cache.tier), decision.cache.cached_size);
+    if (decision.cache.tier == CacheTier::kContainment) {
+      out += StrFormat(" (%u narrowed attribute(s))",
+                       decision.cache.delta_attrs);
+    }
+    out += "\n";
+  }
   return out;
 }
 
@@ -68,6 +78,18 @@ std::string FormatQueryResult(const Schema& schema,
       result.stats.total_ms, result.stats.subset_size,
       static_cast<unsigned long long>(result.stats.candidates_search),
       static_cast<unsigned long long>(result.stats.candidates_qualified));
+  const CacheTelemetry& c = result.cache;
+  if (c.hits_exact + c.hits_containment + c.hits_count_memo + c.misses > 0) {
+    out += StrFormat(
+        "  session cache: exact=%llu containment=%llu memo=%llu misses=%llu "
+        "resident=%llu bytes / %llu entries\n",
+        static_cast<unsigned long long>(c.hits_exact),
+        static_cast<unsigned long long>(c.hits_containment),
+        static_cast<unsigned long long>(c.hits_count_memo),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.bytes),
+        static_cast<unsigned long long>(c.entries));
+  }
   out += FormatRules(schema, result.rules, 10);
   return out;
 }

@@ -2,9 +2,11 @@
 
 namespace colarm {
 
-OptimizerDecision Optimizer::Choose(const LocalizedQuery& query) const {
+OptimizerDecision Optimizer::Choose(const LocalizedQuery& query,
+                                    const CacheHint* hint) const {
   OptimizerDecision decision;
-  decision.estimates = model_.EstimateAll(query);
+  if (hint != nullptr) decision.cache = *hint;
+  decision.estimates = model_.EstimateAll(query, hint);
   double best = decision.estimates[0].total;
   decision.chosen = decision.estimates[0].plan;
   for (const PlanCostEstimate& est : decision.estimates) {

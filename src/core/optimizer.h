@@ -12,6 +12,11 @@ namespace colarm {
 struct OptimizerDecision {
   PlanKind chosen = PlanKind::kSEV;
   std::array<PlanCostEstimate, 6> estimates;
+  /// Cache provenance: how the session cache will serve the SELECT stage
+  /// (kNone when no cache is configured or nothing reusable is resident).
+  /// Because SELECT is plan-uniform, the hint shifts every estimate's
+  /// select/total by the same amount and never changes `chosen`.
+  CacheHint cache;
 
   const PlanCostEstimate& chosen_estimate() const {
     return estimates[static_cast<size_t>(chosen)];
@@ -25,7 +30,11 @@ class Optimizer {
  public:
   explicit Optimizer(CostModel model) : model_(std::move(model)) {}
 
-  OptimizerDecision Choose(const LocalizedQuery& query) const;
+  /// `hint` (optional) is the session cache's probe result for the query's
+  /// focal box; it reprices the plan-uniform SELECT term and is recorded in
+  /// the decision, but cannot change which plan is chosen.
+  OptimizerDecision Choose(const LocalizedQuery& query,
+                           const CacheHint* hint = nullptr) const;
 
   const CostModel& cost_model() const { return model_; }
 

@@ -1,0 +1,302 @@
+#include "core/query_cache.h"
+
+#include <algorithm>
+
+#include "bitmap/bitmap.h"
+
+namespace colarm {
+
+namespace {
+
+// Fixed per-structure overheads folded into the byte accounting: map node,
+// key, bookkeeping. Exactness does not matter — determinism across
+// backends and thread counts does, and both terms depend only on logical
+// content.
+constexpr size_t kEntryOverhead = 64;
+constexpr size_t kMemoOverhead = 48;
+
+size_t SubsetBytes(const FocalSubset& subset) {
+  return kEntryOverhead + subset.box.dims() * 2 * sizeof(ValueId) +
+         subset.tids.size() * sizeof(Tid);
+}
+
+size_t MemoBytes(const CountMemoEntry& memo) {
+  return kMemoOverhead + memo.superset_counts.size() * sizeof(uint32_t);
+}
+
+// Same condition FocalSubset::Materialize scans (and prices) under.
+bool BoxIsConstrained(const Schema& schema, const Rect& box) {
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (box.lo(a) != 0 || box.hi(a) != schema.attribute(a).domain_size() - 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Attributes whose interval in `box` is strictly narrower than in `outer`
+// (the only ones a containment filter has to re-test).
+std::vector<AttrId> NarrowedAttrs(const Rect& box, const Rect& outer) {
+  std::vector<AttrId> narrowed;
+  for (uint32_t d = 0; d < box.dims(); ++d) {
+    if (box.lo(d) != outer.lo(d) || box.hi(d) != outer.hi(d)) {
+      narrowed.push_back(static_cast<AttrId>(d));
+    }
+  }
+  return narrowed;
+}
+
+}  // namespace
+
+std::string CanonicalBoxKey(const Rect& box) {
+  std::string key;
+  key.reserve(box.dims() * 2 * sizeof(ValueId));
+  for (uint32_t d = 0; d < box.dims(); ++d) {
+    ValueId lo = box.lo(d);
+    ValueId hi = box.hi(d);
+    key.append(reinterpret_cast<const char*>(&lo), sizeof(ValueId));
+    key.append(reinterpret_cast<const char*>(&hi), sizeof(ValueId));
+  }
+  return key;
+}
+
+uint32_t MemoSubsetCounter::CountOf(std::span<const ItemId> subset) const {
+  // MaskOf contract of the cold counters: position mask within the base
+  // itemset, unknown items count as never-present.
+  uint32_t mask = 0;
+  size_t pos = 0;
+  for (ItemId item : subset) {
+    while (pos < itemset_.size() && itemset_[pos] < item) ++pos;
+    if (pos == itemset_.size() || itemset_[pos] != item) return 0;
+    mask |= (1u << pos);
+    ++pos;
+  }
+  return memo_->superset_counts[mask];
+}
+
+void CountMemoTxn::RecordFull(uint32_t mip_id, uint32_t full_count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CountMemoEntry& entry = writes_[mip_id];
+  if (entry.superset_counts.empty()) entry.full_count = full_count;
+}
+
+void CountMemoTxn::RecordTable(uint32_t mip_id, uint32_t full_count,
+                               std::span<const uint32_t> superset_counts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CountMemoEntry& entry = writes_[mip_id];
+  entry.full_count = full_count;
+  entry.superset_counts.assign(superset_counts.begin(), superset_counts.end());
+}
+
+QueryCache::QueryCache(const MipIndex& index, QueryCacheOptions options)
+    : index_(&index), options_(options) {}
+
+std::map<std::string, QueryCache::Entry>::const_iterator
+QueryCache::FindContaining(const Rect& box) const {
+  auto best = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->second.box.Contains(box)) continue;
+    if (best == entries_.end() ||
+        it->second.subset->tids.size() < best->second.subset->tids.size()) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+CacheHint QueryCache::Probe(const Rect& box) const {
+  CacheHint hint;
+  std::string key = CanonicalBoxKey(box);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto exact = entries_.find(key);
+  if (exact != entries_.end()) {
+    hint.tier = CacheTier::kExact;
+    hint.cached_size = static_cast<double>(exact->second.subset->tids.size());
+    return hint;
+  }
+  auto containing = FindContaining(box);
+  if (containing != entries_.end()) {
+    hint.tier = CacheTier::kContainment;
+    hint.cached_size =
+        static_cast<double>(containing->second.subset->tids.size());
+    hint.delta_attrs = static_cast<uint32_t>(
+        NarrowedAttrs(box, containing->second.box).size());
+  }
+  return hint;
+}
+
+QueryCache::Lease QueryCache::Acquire(const Rect& box, ExecBackend backend,
+                                      ThreadPool* pool,
+                                      uint64_t* record_checks) {
+  const Dataset& dataset = index_->dataset();
+  const Schema& schema = dataset.schema();
+
+  // The cold semantic price, regardless of which tier actually serves the
+  // subset — the same convention that keeps the bitmap backend's counters
+  // byte-identical to the scalar scan's.
+  if (record_checks != nullptr && BoxIsConstrained(schema, box)) {
+    *record_checks += dataset.num_records();
+  }
+
+  Lease lease;
+  std::string key = CanonicalBoxKey(box);
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  auto exact = entries_.find(key);
+  if (exact != entries_.end()) {
+    ++counters_.hits_exact;
+    exact->second.last_used = ++clock_;
+    lease.subset = *exact->second.subset;
+    lease.tier = CacheTier::kExact;
+    return lease;
+  }
+
+  auto containing = FindContaining(box);
+  if (containing != entries_.end()) {
+    ++counters_.hits_containment;
+    const FocalSubset& src = *containing->second.subset;
+    const std::vector<AttrId> narrowed = NarrowedAttrs(box, src.box);
+    FocalSubset derived;
+    derived.box = box;
+    const bool bitmap_route =
+        backend == ExecBackend::kBitmap && !index_->vertical().empty();
+    if (bitmap_route) {
+      // AND the cached subset's bitmap with one range-OR per narrowed
+      // attribute — the incremental form of MaterializeDq.
+      Bitmap dq = Bitmap::FromTids(src.tids, dataset.num_records());
+      index_->vertical().NarrowDq(schema, box, src.box, &dq, pool);
+      derived.tids = dq.ToTids();
+    } else {
+      // Re-test only the narrowed attributes over the cached tid list.
+      derived.tids.reserve(src.tids.size());
+      for (Tid t : src.tids) {
+        bool inside = true;
+        for (AttrId a : narrowed) {
+          ValueId v = dataset.Value(t, a);
+          if (v < box.lo(a) || v > box.hi(a)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) derived.tids.push_back(t);
+      }
+    }
+    lease.subset = derived;
+    lease.tier = CacheTier::kContainment;
+    InsertLocked(std::move(key), box,
+                 std::make_shared<const FocalSubset>(std::move(derived)));
+    return lease;
+  }
+
+  ++counters_.misses;
+  FocalSubset cold;
+  if (backend == ExecBackend::kBitmap && !index_->vertical().empty()) {
+    cold.box = box;
+    cold.tids = index_->vertical().MaterializeDq(schema, box, pool).ToTids();
+  } else {
+    cold = FocalSubset::Materialize(dataset, box);
+  }
+  lease.subset = cold;
+  lease.tier = CacheTier::kNone;
+  InsertLocked(std::move(key), box,
+               std::make_shared<const FocalSubset>(std::move(cold)));
+  return lease;
+}
+
+std::shared_ptr<const CountMemoEntry> QueryCache::MemoLookup(
+    const std::string& box_key, uint32_t mip_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = entries_.find(box_key);
+  if (entry == entries_.end()) return nullptr;
+  auto memo = entry->second.memo.find(mip_id);
+  return memo != entry->second.memo.end() ? memo->second : nullptr;
+}
+
+void QueryCache::NoteMemoServed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.hits_count_memo;
+}
+
+std::unique_ptr<CountMemoTxn> QueryCache::BeginTxn(const Rect& box) const {
+  return std::make_unique<CountMemoTxn>(CanonicalBoxKey(box));
+}
+
+void QueryCache::Commit(CountMemoTxn* txn) {
+  if (txn == nullptr) return;
+  std::lock_guard<std::mutex> txn_lock(txn->mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(txn->box_key_);
+  if (it == entries_.end()) return;  // box evicted mid-flight: drop writes
+  Entry& entry = it->second;
+  for (auto& [mip_id, write] : txn->writes_) {
+    auto existing = entry.memo.find(mip_id);
+    if (existing != entry.memo.end()) {
+      // Only an upgrade from full-count-only to a full table is worth a
+      // republish; counts themselves are deterministic and identical.
+      if (!existing->second->superset_counts.empty() ||
+          write.superset_counts.empty()) {
+        continue;
+      }
+      const size_t old_bytes = MemoBytes(*existing->second);
+      entry.bytes -= old_bytes;
+      counters_.bytes -= old_bytes;
+      entry.memo.erase(existing);
+    }
+    auto published = std::make_shared<const CountMemoEntry>(std::move(write));
+    const size_t new_bytes = MemoBytes(*published);
+    entry.memo.emplace(mip_id, std::move(published));
+    entry.bytes += new_bytes;
+    counters_.bytes += new_bytes;
+  }
+  txn->writes_.clear();
+  entry.last_used = ++clock_;
+  EvictOverBudgetLocked();
+}
+
+CacheTelemetry QueryCache::telemetry() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  counters_.bytes = 0;
+  counters_.entries = 0;
+}
+
+void QueryCache::InsertLocked(std::string key, const Rect& box,
+                              std::shared_ptr<const FocalSubset> subset) {
+  Entry& entry = entries_[key];
+  if (entry.subset != nullptr) {
+    // Refresh (possible only via concurrent standalone callers): replace
+    // the subset, keep the memo.
+    counters_.bytes -= SubsetBytes(*entry.subset);
+  } else {
+    entry.box = box;
+    ++counters_.entries;
+  }
+  counters_.bytes += SubsetBytes(*subset);
+  entry.bytes = SubsetBytes(*subset);
+  for (const auto& [mip_id, memo] : entry.memo) {
+    entry.bytes += MemoBytes(*memo);
+  }
+  entry.subset = std::move(subset);
+  entry.last_used = ++clock_;
+  EvictOverBudgetLocked();
+}
+
+void QueryCache::EvictOverBudgetLocked() {
+  while (counters_.bytes > options_.byte_budget && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    counters_.bytes -= victim->second.bytes;
+    --counters_.entries;
+    ++counters_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace colarm

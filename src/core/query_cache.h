@@ -1,0 +1,221 @@
+#ifndef COLARM_CORE_QUERY_CACHE_H_
+#define COLARM_CORE_QUERY_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "mip/mip_index.h"
+#include "plans/focal_subset.h"
+#include "plans/operators.h"
+
+namespace colarm {
+
+/// Canonical byte key of a focal box: per-attribute [lo, hi] intervals in
+/// attribute order, so range order and redundant full-domain selections in
+/// the query cannot defeat matching.
+std::string CanonicalBoxKey(const Rect& box);
+
+struct QueryCacheOptions {
+  /// Master switch. Off (the default) keeps the engine byte- and
+  /// performance-identical to a cache-less build: no probes, no inserts,
+  /// no memo, no telemetry.
+  bool enabled = false;
+  /// Resident-byte budget for cached subsets plus their count memos; LRU
+  /// eviction keeps the total under it. 0 disables the cache outright.
+  size_t byte_budget = size_t{64} << 20;
+  /// Tier 3: memoize per-(box, itemset) local support counts so refinement
+  /// queries on the same box (different minsupp/minconf) reuse
+  /// ELIMINATE/VERIFY counts outright.
+  bool count_memo = true;
+};
+
+/// Observability counters. Hits/misses/evictions are monotonic totals;
+/// bytes/entries are the resident state. All are deterministic for a given
+/// query sequence — independent of backend, thread count, and timing.
+struct CacheTelemetry {
+  uint64_t hits_exact = 0;
+  uint64_t hits_containment = 0;
+  uint64_t hits_count_memo = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;
+  uint64_t entries = 0;
+};
+
+/// One memoized itemset count for a (box, MIP) pair. `superset_counts` is
+/// the producing counter's 2^L superset-sum table ([mask] = number of
+/// subset records carrying every item of the mask) when that counter ran
+/// the mask route (itemsets up to kMaxMaskItems); empty when only the full
+/// count is known (ELIMINATE, or longer itemsets). Immutable once
+/// published — readers hold it by shared_ptr so eviction never invalidates
+/// an in-flight query.
+struct CountMemoEntry {
+  uint32_t full_count = 0;
+  std::vector<uint32_t> superset_counts;
+};
+
+/// Buffered count-memo writes of one query execution. Operators record
+/// into the transaction (thread-safe: parallel VERIFY shards write
+/// concurrently, but always to distinct MIPs, so content is
+/// deterministic); the owner commits it at a deterministic point — query
+/// end for standalone execution, batch end in input order for the batch
+/// executor — so cache state transitions never depend on thread timing.
+class CountMemoTxn {
+ public:
+  explicit CountMemoTxn(std::string box_key) : box_key_(std::move(box_key)) {}
+
+  const std::string& box_key() const { return box_key_; }
+
+  /// Records a full-count-only fact (ELIMINATE, long itemsets). Never
+  /// downgrades an already-recorded table.
+  void RecordFull(uint32_t mip_id, uint32_t full_count);
+
+  /// Records the complete subset-count table (mask-route VERIFY).
+  void RecordTable(uint32_t mip_id, uint32_t full_count,
+                   std::span<const uint32_t> superset_counts);
+
+ private:
+  friend class QueryCache;
+
+  std::string box_key_;
+  std::mutex mutex_;
+  std::map<uint32_t, CountMemoEntry> writes_;
+};
+
+/// Drop-in counter replaying a memoized subset-count table: satisfies the
+/// GenerateRulesForItemset contract (itemset / CountFull / base_size /
+/// CountOf / record_checks) with O(1) count lookups. Reports the same
+/// record-check price the cold mask-route counter charges (one semantic
+/// pass over the focal subset), keeping warm effort counters byte-
+/// identical to cold execution.
+class MemoSubsetCounter {
+ public:
+  MemoSubsetCounter(Itemset itemset, std::shared_ptr<const CountMemoEntry> memo,
+                    uint32_t base_size)
+      : itemset_(std::move(itemset)),
+        memo_(std::move(memo)),
+        base_size_(base_size) {}
+
+  uint32_t CountOf(std::span<const ItemId> subset) const;
+  uint32_t CountFull() const { return memo_->full_count; }
+  const Itemset& itemset() const { return itemset_; }
+  uint32_t base_size() const { return base_size_; }
+  uint64_t record_checks() const { return base_size_; }
+
+ private:
+  Itemset itemset_;
+  std::shared_ptr<const CountMemoEntry> memo_;
+  uint32_t base_size_;
+};
+
+/// The session-scoped semantic cache (owned by the Engine, shared by the
+/// BatchExecutor): an LRU, byte-budgeted store of materialized focal
+/// subsets keyed by canonical box, with three reuse tiers —
+///
+///   1. exact: a query's box is resident → copy its tid list, no scan;
+///   2. containment: a resident box *contains* the query's box → derive DQ
+///      by filtering the cached subset (scalar: re-test the cached tids on
+///      the narrowed attributes; bitmap: AND the cached subset's bitmap
+///      with one range-OR per narrowed attribute) — exact by the focal-box
+///      containment invariant;
+///   3. count memo: per-(box, MIP) local counts recorded by
+///      ELIMINATE/VERIFY, replayed by later queries on the same box with
+///      different thresholds (exact by threshold monotonicity).
+///
+/// Every tier is byte-identical to cold execution in rules and effort
+/// counters: warm paths charge the cold semantic record-check price, the
+/// same convention the bitmap backend already follows. Entries store tid
+/// lists only (no backend-specific sidecars), so byte accounting,
+/// eviction order, and telemetry are identical across backends.
+///
+/// Thread safety: all methods are safe to call concurrently; determinism
+/// of state transitions is the *callers'* contract (acquisitions and
+/// commits happen at sequential points — see CountMemoTxn).
+class QueryCache {
+ public:
+  QueryCache(const MipIndex& index, QueryCacheOptions options);
+
+  /// Read-only probe for the optimizer: which tier would serve `box` right
+  /// now. Touches neither recency nor telemetry.
+  CacheHint Probe(const Rect& box) const;
+
+  /// The focal subset handed to one plan execution, plus how it was served.
+  struct Lease {
+    FocalSubset subset;
+    CacheTier tier = CacheTier::kNone;
+  };
+
+  /// Serves the focal subset for `box` from the best tier — exact copy,
+  /// containment derivation, or cold materialization — inserting the
+  /// resulting subset and updating LRU recency, telemetry, and evictions.
+  /// `record_checks` is charged exactly the cold price (the relation size,
+  /// iff the box constrains anything) regardless of tier, so plan
+  /// statistics stay byte-identical to cold execution. Call from
+  /// sequential points only (see class comment).
+  Lease Acquire(const Rect& box, ExecBackend backend, ThreadPool* pool,
+                uint64_t* record_checks);
+
+  /// Tier-3 read: the committed memo for (box, MIP), null on a miss.
+  /// Does not count telemetry — callers call NoteMemoServed() when they
+  /// actually serve from the returned entry.
+  std::shared_ptr<const CountMemoEntry> MemoLookup(const std::string& box_key,
+                                                   uint32_t mip_id) const;
+
+  /// Telemetry: one ELIMINATE/VERIFY candidate was served from the memo.
+  void NoteMemoServed();
+
+  /// Starts a buffered memo transaction for the box (no cache state is
+  /// touched until Commit).
+  std::unique_ptr<CountMemoTxn> BeginTxn(const Rect& box) const;
+
+  /// Merges a transaction's writes into the box's entry (dropped silently
+  /// when the box has been evicted), bumps its recency, and evicts over
+  /// budget. Call from sequential points only.
+  void Commit(CountMemoTxn* txn);
+
+  CacheTelemetry telemetry() const;
+  const QueryCacheOptions& options() const { return options_; }
+
+  /// Drops every entry and resets resident bytes (totals keep counting).
+  void Clear();
+
+ private:
+  struct Entry {
+    Rect box;
+    std::shared_ptr<const FocalSubset> subset;
+    std::map<uint32_t, std::shared_ptr<const CountMemoEntry>> memo;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+
+  /// Containment source for `box`: the resident entry with the smallest
+  /// subset (cheapest filter), key order breaking ties — deterministic, so
+  /// Probe and Acquire agree. Returns entries_.end() when nothing
+  /// contains the box. Caller holds mutex_.
+  std::map<std::string, Entry>::const_iterator FindContaining(
+      const Rect& box) const;
+
+  /// Inserts (or refreshes) the entry for `key`, then evicts least-
+  /// recently-used entries until resident bytes fit the budget. Caller
+  /// holds mutex_.
+  void InsertLocked(std::string key, const Rect& box,
+                    std::shared_ptr<const FocalSubset> subset);
+  void EvictOverBudgetLocked();
+
+  const MipIndex* index_;
+  QueryCacheOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  uint64_t clock_ = 0;
+  CacheTelemetry counters_;  // bytes/entries tracked here too
+};
+
+}  // namespace colarm
+
+#endif  // COLARM_CORE_QUERY_CACHE_H_

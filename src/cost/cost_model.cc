@@ -8,6 +8,18 @@
 
 namespace colarm {
 
+const char* CacheTierName(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kNone:
+      return "none";
+    case CacheTier::kExact:
+      return "exact";
+    case CacheTier::kContainment:
+      return "containment";
+  }
+  return "?";
+}
+
 std::string PlanCostEstimate::ToString() const {
   return StrFormat(
       "%-8s est=%.3fms (select=%.3f search=%.3f eliminate=%.3f verify=%.3f "
@@ -81,8 +93,8 @@ double CostModel::RulesPerItemset() const {
   return std::max(0.0, std::pow(2.0, len) - 2.0);
 }
 
-PlanCostEstimate CostModel::Estimate(PlanKind kind,
-                                     const LocalizedQuery& query) const {
+PlanCostEstimate CostModel::Estimate(PlanKind kind, const LocalizedQuery& query,
+                                     const CacheHint* hint) const {
   PlanCostEstimate est;
   est.plan = kind;
 
@@ -109,9 +121,23 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind,
   // SELECT. Scalar: one relation scan. Bitmap: per attribute a range-OR
   // plus an AND over the word array, then one pass converting DQ to tids.
   // The term is plan-independent either way, so its accuracy never sways
-  // plan choice — only the absolute estimate.
-  if (backend_ == ExecBackend::kBitmap) {
-    constexpr double kAvgOrWidth = 3.0;  // value bitmaps OR'd per attribute
+  // plan choice — only the absolute estimate. A session-cache hint replaces
+  // the cold scan with what actually runs: copying the cached tid list on
+  // an exact hit, or filtering the cached (containing) subset on a
+  // containment hit — scalar re-tests each cached record on the narrowed
+  // attributes, bitmap ANDs one range-OR per narrowed attribute.
+  constexpr double kAvgOrWidth = 3.0;  // value bitmaps OR'd per attribute
+  if (hint != nullptr && hint->tier == CacheTier::kExact) {
+    est.select = hint->cached_size * constants_.select_record_ns;
+  } else if (hint != nullptr && hint->tier == CacheTier::kContainment) {
+    if (backend_ == ExecBackend::kBitmap) {
+      est.select = hint->delta_attrs * (kAvgOrWidth + 1.0) * words *
+                       constants_.bitmap_word_ns +
+                   subset * constants_.select_record_ns;
+    } else {
+      est.select = hint->cached_size * constants_.select_record_ns;
+    }
+  } else if (backend_ == ExecBackend::kBitmap) {
     est.select = stats_->num_attributes * (kAvgOrWidth + 1.0) * words *
                      constants_.bitmap_word_ns +
                  subset * constants_.select_record_ns;
@@ -201,10 +227,10 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind,
 }
 
 std::array<PlanCostEstimate, 6> CostModel::EstimateAll(
-    const LocalizedQuery& query) const {
+    const LocalizedQuery& query, const CacheHint* hint) const {
   std::array<PlanCostEstimate, 6> all;
   for (size_t i = 0; i < kAllPlans.size(); ++i) {
-    all[i] = Estimate(kAllPlans[i], query);
+    all[i] = Estimate(kAllPlans[i], query, hint);
   }
   return all;
 }

@@ -11,6 +11,28 @@
 
 namespace colarm {
 
+/// How the session cache would serve a query's focal subset.
+enum class CacheTier {
+  kNone,         // cold: full relation scan
+  kExact,        // a cached subset with the identical box
+  kContainment,  // a cached subset whose box contains the query's
+};
+
+const char* CacheTierName(CacheTier tier);
+
+/// What the session cache reports to the optimizer before planning: the
+/// reuse tier the SELECT stage would hit, and the size of the cached
+/// subset a containment hit would filter instead of scanning the
+/// relation. Recorded in the decision as the cache-provenance field.
+struct CacheHint {
+  CacheTier tier = CacheTier::kNone;
+  /// |cached subset| the derive step touches (exact: the subset itself).
+  double cached_size = 0.0;
+  /// Attributes whose interval actually narrowed (containment only) —
+  /// the bitmap delta-filter ANDs one range-OR per such attribute.
+  uint32_t delta_attrs = 0;
+};
+
 /// Constant-time cost estimate of one plan for one query, in pseudo-
 /// nanoseconds, with the operator breakdown the paper's Equations 1-6
 /// prescribe.
@@ -50,10 +72,17 @@ class CostModel {
         constants_(constants),
         backend_(backend) {}
 
-  PlanCostEstimate Estimate(PlanKind kind, const LocalizedQuery& query) const;
+  /// `hint` (when non-null) reprices the SELECT term with what the session
+  /// cache would actually do — an exact-hit copy or a containment delta
+  /// filter instead of the cold relation scan. SELECT is additive and
+  /// plan-uniform across all six plans, so the repricing moves every total
+  /// by the same amount and provably never changes which plan wins; it only
+  /// makes the absolute estimates honest for EXPLAIN and accuracy studies.
+  PlanCostEstimate Estimate(PlanKind kind, const LocalizedQuery& query,
+                            const CacheHint* hint = nullptr) const;
 
   std::array<PlanCostEstimate, 6> EstimateAll(
-      const LocalizedQuery& query) const;
+      const LocalizedQuery& query, const CacheHint* hint = nullptr) const;
 
   const CostConstants& constants() const { return constants_; }
 

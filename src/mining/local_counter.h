@@ -45,6 +45,11 @@ class LocalSubsetCounter {
   /// plan cost statistics).
   uint64_t record_checks() const { return record_checks_; }
 
+  /// True iff the counter took the mask route, i.e. subset_table() holds
+  /// all 2^L subset counts (the session cache's count-memo payload).
+  bool has_subset_table() const { return use_mask_; }
+  std::span<const uint32_t> subset_table() const { return superset_counts_; }
+
  private:
   uint32_t MaskOf(std::span<const ItemId> subset) const;
 

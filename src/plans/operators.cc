@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitmap/bitmap_counter.h"
+#include "core/query_cache.h"
 #include "mining/fpgrowth.h"
 #include "mining/local_counter.h"
 
@@ -123,10 +124,17 @@ namespace {
 // each candidate's local count as popcount(item-AND ∩ DQ) — one scratch
 // bitmap per range keeps the candidate loop allocation-free — while
 // charging the same record-check price as the scalar row scan.
+// True when this execution both reads and records the session cache's
+// per-(box, itemset) count memo.
+bool MemoActive(const PlanContext& ctx) {
+  return ctx.cache != nullptr && ctx.memo_txn != nullptr;
+}
+
 void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
                     std::vector<QualifiedItemset>* qualified,
                     uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
+  const bool memo = MemoActive(*ctx);
   Bitmap scratch;
   if (ctx->vertical != nullptr) {
     scratch = Bitmap(ctx->vertical->num_records());
@@ -135,6 +143,20 @@ void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
     if (!ctx->MipAttrsAllowed(id)) continue;
     const Mip& mip = ctx->index.mip(id);
     uint32_t count = 0;
+    if (memo) {
+      auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(), id);
+      if (hit != nullptr) {
+        // The memoized count replaces the scan; the semantic price (one
+        // pass over the focal subset) is charged as if it ran, keeping the
+        // effort counters byte-identical to cold execution.
+        ctx->cache->NoteMemoServed();
+        *record_checks += ctx->subset.tids.size();
+        if (hit->full_count >= ctx->local_min_count) {
+          qualified->push_back({id, hit->full_count});
+        }
+        continue;
+      }
+    }
     if (ctx->vertical != nullptr) {
       count = BitmapLocalCount(*ctx->vertical, ctx->dq_bitmap, mip.items,
                                &scratch);
@@ -144,6 +166,7 @@ void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
       }
     }
     *record_checks += ctx->subset.tids.size();
+    if (memo) ctx->memo_txn->RecordFull(id, count);
     if (count >= ctx->local_min_count) {
       qualified->push_back({id, count});
     }
@@ -217,23 +240,67 @@ struct VerifyShard {
   uint64_t record_checks = 0;
 };
 
+// Records one cold-computed counter into the query's memo transaction: the
+// subset table when the counter ran the mask route, otherwise just the
+// full count (which still settles later ELIMINATE / disqualification).
+template <typename Counter>
+void RecordCounter(PlanContext* ctx, uint32_t mip_id, const Counter& counter) {
+  if (counter.has_subset_table()) {
+    ctx->memo_txn->RecordTable(mip_id, counter.CountFull(),
+                               counter.subset_table());
+  } else {
+    ctx->memo_txn->RecordFull(mip_id, counter.CountFull());
+  }
+}
+
+// Replays a memoized subset-count table for one itemset: rule generation
+// runs against O(1) lookups, charging the cold counter's one-pass price.
+// False when the memo has no table for it (the cold path must run).
+bool TryMemoVerify(PlanContext* ctx, uint32_t mip_id, const Itemset& items,
+                   RuleSet* out, RuleGenStats* rule_stats,
+                   uint64_t* record_checks) {
+  auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(), mip_id);
+  if (hit == nullptr || hit->superset_counts.empty()) return false;
+  ctx->cache->NoteMemoServed();
+  MemoSubsetCounter counter(items, std::move(hit),
+                            static_cast<uint32_t>(ctx->subset.tids.size()));
+  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                          rule_stats);
+  *record_checks += counter.record_checks();
+  return true;
+}
+
+// Rule generation + memo recording for one cold-computed counter.
+template <typename Counter>
+void VerifyColdOne(PlanContext* ctx, uint32_t mip_id, const Counter& counter,
+                   bool memo, RuleSet* out, RuleGenStats* rule_stats,
+                   uint64_t* record_checks) {
+  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+                          rule_stats);
+  *record_checks += counter.record_checks();
+  if (memo) RecordCounter(ctx, mip_id, counter);
+}
+
 void VerifyRange(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
                  RuleSet* out, RuleGenStats* rule_stats,
                  uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
+  const bool memo = MemoActive(*ctx);
   for (const QualifiedItemset& q : qualified) {
     const Itemset& items = ctx->index.mip(q.mip_id).items;
+    if (memo && TryMemoVerify(ctx, q.mip_id, items, out, rule_stats,
+                              record_checks)) {
+      continue;
+    }
     if (ctx->vertical != nullptr) {
       BitmapSubsetCounter counter(*ctx->vertical, ctx->dq_bitmap, items,
                                   ctx->subset.tids);
-      GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                              rule_stats);
-      *record_checks += counter.record_checks();
+      VerifyColdOne(ctx, q.mip_id, counter, memo, out, rule_stats,
+                    record_checks);
     } else {
       LocalSubsetCounter counter(dataset, items, ctx->subset.tids);
-      GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                              rule_stats);
-      *record_checks += counter.record_checks();
+      VerifyColdOne(ctx, q.mip_id, counter, memo, out, rule_stats,
+                    record_checks);
     }
   }
 }
@@ -254,16 +321,38 @@ void SupportedVerifyRange(PlanContext* ctx,
                           std::span<const uint32_t> candidates, RuleSet* out,
                           RuleGenStats* rule_stats, uint64_t* record_checks) {
   const Dataset& dataset = ctx->index.dataset();
+  const bool memo = MemoActive(*ctx);
   for (uint32_t id : candidates) {
     if (!ctx->MipAttrsAllowed(id)) continue;
     const Itemset& items = ctx->index.mip(id).items;
+    if (memo) {
+      auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(), id);
+      if (hit != nullptr && !hit->superset_counts.empty()) {
+        ctx->cache->NoteMemoServed();
+        MemoSubsetCounter counter(
+            items, std::move(hit),
+            static_cast<uint32_t>(ctx->subset.tids.size()));
+        SupportedVerifyOne(ctx, counter, out, rule_stats, record_checks);
+        continue;
+      }
+      if (hit != nullptr && hit->full_count < ctx->local_min_count) {
+        // A full-count-only memo (ELIMINATE's) still settles
+        // disqualification; only a qualifying candidate needs the table
+        // and falls through to the cold pass.
+        ctx->cache->NoteMemoServed();
+        *record_checks += ctx->subset.tids.size();
+        continue;
+      }
+    }
     if (ctx->vertical != nullptr) {
       BitmapSubsetCounter counter(*ctx->vertical, ctx->dq_bitmap, items,
                                   ctx->subset.tids);
       SupportedVerifyOne(ctx, counter, out, rule_stats, record_checks);
+      if (memo) RecordCounter(ctx, id, counter);
     } else {
       LocalSubsetCounter counter(dataset, items, ctx->subset.tids);
       SupportedVerifyOne(ctx, counter, out, rule_stats, record_checks);
+      if (memo) RecordCounter(ctx, id, counter);
     }
   }
 }

@@ -11,6 +11,9 @@
 
 namespace colarm {
 
+class QueryCache;   // core/query_cache.h
+class CountMemoTxn;  // core/query_cache.h
+
 /// Output of the SEARCH / SUPPORTED-SEARCH operators: MIP ids whose
 /// bounding boxes intersect the focal box, split by full containment
 /// (Lemma 4.5) vs. partial overlap. Plans that do not exploit the split
@@ -74,6 +77,14 @@ struct PlanContext {
   /// focal subset over the same universe.
   const VerticalIndex* vertical = nullptr;
   Bitmap dq_bitmap;
+
+  /// Session cache wiring (both null when caching is off). When both are
+  /// set, ELIMINATE / VERIFY / SUPPORTED-VERIFY serve per-(box, itemset)
+  /// counts from the committed memo — charging the cold semantic record-
+  /// check price so effort counters stay byte-identical — and record their
+  /// cold-computed counts into the transaction for later queries.
+  QueryCache* cache = nullptr;
+  CountMemoTxn* memo_txn = nullptr;
 
   std::vector<bool> item_attr_mask;
   FocalSubset subset;

@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/query_cache.h"
 
 namespace colarm {
 
@@ -73,11 +74,28 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
 
   Timer total_timer;
   Timer stage;
-  PlanContext ctx =
-      exec.shared_subset != nullptr
-          ? PlanContext(index, query, exec.rulegen, *exec.shared_subset,
-                        exec.pool, exec.backend)
-          : PlanContext(index, query, exec.rulegen, exec.pool, exec.backend);
+  uint64_t select_checks = 0;
+  auto make_context = [&]() -> PlanContext {
+    if (exec.shared_subset != nullptr) {
+      return PlanContext(index, query, exec.rulegen, *exec.shared_subset,
+                         exec.pool, exec.backend);
+    }
+    if (exec.cache != nullptr) {
+      // SELECT through the session cache: exact hit, containment
+      // derivation, or cold materialize-and-insert — always priced at the
+      // cold record-check cost.
+      QueryCache::Lease lease =
+          exec.cache->Acquire(query.ToRect(index.dataset().schema()),
+                              exec.backend, exec.pool, &select_checks);
+      return PlanContext(index, query, exec.rulegen, std::move(lease.subset),
+                         exec.pool, exec.backend);
+    }
+    return PlanContext(index, query, exec.rulegen, exec.pool, exec.backend);
+  };
+  PlanContext ctx = make_context();
+  ctx.record_checks += select_checks;
+  ctx.cache = exec.cache;
+  ctx.memo_txn = exec.memo_txn;
   ctx.arm_miner = exec.arm_miner;
   stats.select_ms = stage.ElapsedMillis();
   stats.subset_size = ctx.subset.size();

@@ -76,6 +76,17 @@ struct PlanExecOptions {
   /// index's vertical bitmaps. Backends are byte-identical in results and
   /// effort counters, differing only in wall time.
   ExecBackend backend = ExecBackend::kScalar;
+  /// Session cache (core/query_cache.h). When set and `shared_subset` is
+  /// null, the SELECT stage acquires the focal subset through the cache
+  /// (exact hit / containment derivation / cold materialize-and-insert)
+  /// while charging the cold record-check price. Must only be passed from
+  /// sequential acquisition points (the Engine, or the batch executor's
+  /// planning phase).
+  QueryCache* cache = nullptr;
+  /// Count-memo transaction for this query; reads come from the cache's
+  /// committed state, writes buffer here until the owner commits them at a
+  /// deterministic point. Both must be set for the memo tier to engage.
+  CountMemoTxn* memo_txn = nullptr;
 };
 
 /// Executes one plan end to end. All six plans return the same rule set

@@ -8,7 +8,9 @@
 #include <map>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/string_util.h"
+#include "core/engine.h"
 #include "mip/serialize.h"
 #include "plans/plans.h"
 
@@ -420,6 +422,101 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
           }
         }
       }
+    }
+  }
+
+  // Session-cache equivalence: the whole query sequence replayed through a
+  // cache-enabled engine — first pass (misses + containment derivations),
+  // second pass (fully hot), and a deterministically shuffled order after
+  // clearing the cache — must answer every query byte-identically to a
+  // cache-less engine: same rules, same effort counters, same plan.
+  if (options.check_session_cache) {
+    std::vector<size_t> valid;
+    for (size_t qi = 0; qi < fuzz_case.queries.size(); ++qi) {
+      if (fuzz_case.queries[qi].Validate(schema).ok()) valid.push_back(qi);
+    }
+    std::vector<ExecBackend> backends{ExecBackend::kScalar};
+    if (options.check_backends) backends.push_back(ExecBackend::kBitmap);
+    for (ExecBackend backend : backends) {
+      if (valid.empty()) break;
+      const char* backend_name =
+          backend == ExecBackend::kBitmap ? "bitmap" : "scalar";
+      EngineOptions cold_options;
+      cold_options.index.primary_support = fuzz_case.primary_support;
+      cold_options.rulegen = rulegen;
+      cold_options.calibrate = false;
+      cold_options.backend = backend;
+      cold_options.num_threads = 1;
+      auto cold_engine = Engine::Build(dataset, cold_options);
+      EngineOptions warm_options = cold_options;
+      warm_options.cache.enabled = true;
+      if (options.check_threads && !options.thread_counts.empty()) {
+        warm_options.num_threads = options.thread_counts.back();
+      }
+      auto warm_engine = Engine::Build(dataset, warm_options);
+      if (!cold_engine.ok() || !warm_engine.ok()) {
+        fail("session-cache", 0,
+             StrFormat("%s engine build failed", backend_name));
+        continue;
+      }
+
+      std::vector<QueryResult> cold_results(fuzz_case.queries.size());
+      bool engines_ok = true;
+      for (size_t qi : valid) {
+        auto cold = (*cold_engine)->Execute(fuzz_case.queries[qi]);
+        if (!cold.ok()) {
+          fail("session-cache", qi,
+               StrFormat("%s cold: %s", backend_name,
+                         cold.status().ToString().c_str()));
+          engines_ok = false;
+          break;
+        }
+        cold_results[qi] = std::move(cold.value());
+      }
+      if (!engines_ok) continue;
+
+      auto check_pass = [&](const char* pass, size_t qi) {
+        auto warm = (*warm_engine)->Execute(fuzz_case.queries[qi]);
+        const QueryResult& cold = cold_results[qi];
+        if (!warm.ok()) {
+          fail("session-cache", qi,
+               StrFormat("%s %s: %s", backend_name, pass,
+                         warm.status().ToString().c_str()));
+          return;
+        }
+        if (!warm->rules.SameAs(cold.rules)) {
+          fail("session-cache", qi,
+               StrFormat("%s %s: %s", backend_name, pass,
+                         DiffRuleSets(schema, warm->rules, cold.rules)
+                             .c_str()));
+        }
+        std::string effort = DiffEffort(warm->stats, cold.stats);
+        if (!effort.empty()) {
+          fail("session-cache", qi,
+               StrFormat("%s %s effort: %s", backend_name, pass,
+                         effort.c_str()));
+        }
+        if (warm->plan_used != cold.plan_used ||
+            warm->decision.chosen != cold.decision.chosen) {
+          fail("session-cache", qi,
+               StrFormat("%s %s: plan %s vs cold %s", backend_name, pass,
+                         PlanKindName(warm->plan_used),
+                         PlanKindName(cold.plan_used)));
+        }
+      };
+
+      for (size_t qi : valid) check_pass("warm", qi);
+      for (size_t qi : valid) check_pass("hot", qi);
+
+      // Shuffled order from a cleared cache: reuse opportunities differ
+      // (drill-downs may now run before their outer box), answers may not.
+      (*warm_engine)->cache()->Clear();
+      std::vector<size_t> shuffled = valid;
+      Rng rng(fuzz_case.seed ^ 0x5e55u);
+      for (size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+      }
+      for (size_t qi : shuffled) check_pass("shuffled", qi);
     }
   }
   return violations;

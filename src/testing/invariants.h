@@ -30,6 +30,11 @@ struct CheckOptions {
   bool check_monotonic = true;
   bool check_containment = true;
   bool check_backends = true;
+  /// Replay the case's query sequence through a session-cache-enabled
+  /// engine — cold vs. warm, a second cache-hot pass, and a deterministic
+  /// shuffled order — requiring byte-identical rules, effort counters, and
+  /// plan decisions against a cache-less engine.
+  bool check_session_cache = true;
   OracleOptions oracle;
 };
 
@@ -47,6 +52,10 @@ struct CheckOptions {
 ///   backend-equivalence the bitmap execution backend returns byte-
 ///                       identical rules AND effort counters to the scalar
 ///                       one, at every pool size and on a reloaded index
+///   session-cache       replaying the query sequence through the session
+///                       cache (warm, cache-hot, and shuffled-order passes,
+///                       on both backends) answers every query exactly like
+///                       a cache-less engine
 std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
                                  const CheckOptions& options = {});
 

@@ -132,6 +132,128 @@ TEST(BatchTest, InvalidQueryFailsWholeBatchUpFront) {
   EXPECT_FALSE(batch.ok());
 }
 
+Env MakeCachedEnv(uint64_t seed) {
+  Env env;
+  env.data = std::make_unique<Dataset>(RandomDataset(seed, 250, 5, 4));
+  EngineOptions options;
+  options.index.primary_support = 0.2;
+  options.calibrate = false;
+  options.cache.enabled = true;
+  env.engine = std::move(Engine::Build(*env.data, options).value());
+  return env;
+}
+
+TEST(BatchTest, SessionCacheTelemetryAccumulatesAcrossBatches) {
+  Env env = MakeCachedEnv(8);
+  auto queries = SessionQueries();
+  BatchExecutor executor(*env.engine);
+
+  auto first = executor.Execute(queries);
+  ASSERT_TRUE(first.ok());
+  // A fresh cache: the batch's distinct boxes are misses, nothing more.
+  EXPECT_GT(first->cache.misses, 0u);
+  EXPECT_EQ(first->cache.hits_exact, 0u);
+  EXPECT_GT(first->cache.bytes, 0u);
+  EXPECT_GT(first->cache.entries, 0u);
+
+  // The same session again: every acquisition is now an exact hit and the
+  // threshold sweep replays memoized counts.
+  auto second = executor.Execute(queries);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache.misses, 0u);
+  EXPECT_GT(second->cache.hits_exact, 0u);
+  EXPECT_GT(second->cache.hits_count_memo, 0u);
+  ASSERT_EQ(second->results.size(), first->results.size());
+  for (size_t i = 0; i < first->results.size(); ++i) {
+    EXPECT_TRUE(second->results[i].rules.SameAs(first->results[i].rules));
+    EXPECT_EQ(second->results[i].stats.record_checks,
+              first->results[i].stats.record_checks);
+  }
+}
+
+TEST(BatchTest, CachedBatchMatchesStandaloneColdExecution) {
+  Env cached = MakeCachedEnv(9);
+  Env cold = Env::Make(9);  // same seed, no cache
+  auto queries = SessionQueries();
+  BatchExecutor executor(*cached.engine);
+  for (int pass = 0; pass < 2; ++pass) {
+    auto batch = executor.Execute(queries);
+    ASSERT_TRUE(batch.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto standalone = cold.engine->Execute(queries[i]);
+      ASSERT_TRUE(standalone.ok());
+      EXPECT_TRUE(batch->results[i].rules.SameAs(standalone->rules))
+          << "pass " << pass << " query " << i;
+      EXPECT_EQ(batch->results[i].plan_used, standalone->plan_used);
+    }
+  }
+}
+
+TEST(BatchTest, CacheConcurrencySweepIsDeterministic) {
+  // The same two-batch session over fresh engines at 1, 2, and 8 threads
+  // must produce identical results AND identical cache state transitions:
+  // acquisitions and commits happen at sequential points regardless of the
+  // execution parallelism.
+  auto queries = SessionQueries();
+  std::vector<BatchResult> firsts;
+  std::vector<BatchResult> seconds;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Env env = MakeCachedEnv(10);
+    BatchExecutor executor(*env.engine);
+    BatchOptions options;
+    options.num_threads = threads;
+    auto first = executor.Execute(queries, options);
+    ASSERT_TRUE(first.ok());
+    auto second = executor.Execute(queries, options);
+    ASSERT_TRUE(second.ok());
+    firsts.push_back(std::move(first.value()));
+    seconds.push_back(std::move(second.value()));
+  }
+  auto expect_same = [&](const BatchResult& a, const BatchResult& b,
+                         const std::string& context) {
+    ASSERT_EQ(a.results.size(), b.results.size()) << context;
+    for (size_t i = 0; i < a.results.size(); ++i) {
+      EXPECT_TRUE(a.results[i].rules.SameAs(b.results[i].rules)) << context;
+      EXPECT_EQ(a.results[i].plan_used, b.results[i].plan_used) << context;
+      EXPECT_EQ(a.results[i].stats.record_checks,
+                b.results[i].stats.record_checks)
+          << context;
+    }
+    EXPECT_EQ(a.subsets_shared, b.subsets_shared) << context;
+    EXPECT_EQ(a.cache.hits_exact, b.cache.hits_exact) << context;
+    EXPECT_EQ(a.cache.hits_containment, b.cache.hits_containment) << context;
+    EXPECT_EQ(a.cache.hits_count_memo, b.cache.hits_count_memo) << context;
+    EXPECT_EQ(a.cache.misses, b.cache.misses) << context;
+    EXPECT_EQ(a.cache.evictions, b.cache.evictions) << context;
+    EXPECT_EQ(a.cache.bytes, b.cache.bytes) << context;
+    EXPECT_EQ(a.cache.entries, b.cache.entries) << context;
+  };
+  for (size_t t = 1; t < firsts.size(); ++t) {
+    expect_same(firsts[0], firsts[t], "first batch, sweep " +
+                                          std::to_string(t));
+    expect_same(seconds[0], seconds[t], "second batch, sweep " +
+                                            std::to_string(t));
+  }
+}
+
+TEST(BatchTest, CacheWithUnsharedSubsetsKeepsColdCharges) {
+  Env cached = MakeCachedEnv(11);
+  Env cold = Env::Make(11);
+  auto queries = SessionQueries();
+  BatchOptions options;
+  options.share_subsets = false;
+  auto warm = BatchExecutor(*cached.engine).Execute(queries, options);
+  auto reference = BatchExecutor(*cold.engine).Execute(queries, options);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(warm->results[i].stats.record_checks,
+              reference->results[i].stats.record_checks)
+        << "query " << i;
+    EXPECT_TRUE(warm->results[i].rules.SameAs(reference->results[i].rules));
+  }
+}
+
 TEST(BatchTest, EmptyBatch) {
   Env env = Env::Make(7);
   BatchExecutor executor(*env.engine);

@@ -1,0 +1,286 @@
+#include "core/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+struct Env {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<MipIndex> index;
+
+  static Env Make(uint64_t seed) {
+    Env env;
+    env.data = std::make_unique<Dataset>(RandomDataset(seed, 250, 5, 4));
+    auto built = MipIndex::Build(*env.data, {.primary_support = 0.2});
+    EXPECT_TRUE(built.ok());
+    env.index = std::make_unique<MipIndex>(std::move(built.value()));
+    return env;
+  }
+
+  Rect Box(std::vector<RangeSelection> ranges) const {
+    LocalizedQuery query;
+    query.ranges = std::move(ranges);
+    return query.ToRect(data->schema());
+  }
+};
+
+QueryCacheOptions Enabled(size_t budget = size_t{64} << 20) {
+  QueryCacheOptions options;
+  options.enabled = true;
+  options.byte_budget = budget;
+  return options;
+}
+
+TEST(QueryCacheTest, ColdMissThenExactHit) {
+  Env env = Env::Make(1);
+  QueryCache cache(*env.index, Enabled());
+  Rect box = env.Box({{0, 0, 1}});
+
+  EXPECT_EQ(cache.Probe(box).tier, CacheTier::kNone);
+  uint64_t checks = 0;
+  auto cold = cache.Acquire(box, ExecBackend::kScalar, nullptr, &checks);
+  EXPECT_EQ(cold.tier, CacheTier::kNone);
+  EXPECT_EQ(checks, env.data->num_records());
+  FocalSubset expected = FocalSubset::Materialize(*env.data, box);
+  EXPECT_EQ(cold.subset.tids, expected.tids);
+
+  // Second acquisition: exact hit, identical subset, same cold price.
+  CacheHint hint = cache.Probe(box);
+  EXPECT_EQ(hint.tier, CacheTier::kExact);
+  EXPECT_EQ(hint.cached_size, static_cast<double>(expected.tids.size()));
+  checks = 0;
+  auto warm = cache.Acquire(box, ExecBackend::kScalar, nullptr, &checks);
+  EXPECT_EQ(warm.tier, CacheTier::kExact);
+  EXPECT_EQ(checks, env.data->num_records());
+  EXPECT_EQ(warm.subset.tids, expected.tids);
+
+  CacheTelemetry t = cache.telemetry();
+  EXPECT_EQ(t.misses, 1u);
+  EXPECT_EQ(t.hits_exact, 1u);
+  EXPECT_EQ(t.entries, 1u);
+  EXPECT_GT(t.bytes, 0u);
+}
+
+TEST(QueryCacheTest, UnconstrainedBoxChargesNothing) {
+  Env env = Env::Make(2);
+  QueryCache cache(*env.index, Enabled());
+  Rect box = env.Box({});  // full-domain box: the cold scan is free too
+  uint64_t checks = 0;
+  auto lease = cache.Acquire(box, ExecBackend::kScalar, nullptr, &checks);
+  EXPECT_EQ(checks, 0u);
+  EXPECT_EQ(lease.subset.tids.size(), env.data->num_records());
+}
+
+class ContainmentTest : public ::testing::TestWithParam<ExecBackend> {};
+
+TEST_P(ContainmentTest, DerivedSubsetMatchesColdMaterialization) {
+  const ExecBackend backend = GetParam();
+  Env env = Env::Make(3);
+  QueryCache cache(*env.index, Enabled());
+
+  Rect outer = env.Box({{0, 0, 2}});
+  uint64_t ignored = 0;
+  cache.Acquire(outer, backend, nullptr, &ignored);
+
+  // Drill-downs narrowing one and two attributes, both contained in outer.
+  for (const auto& ranges :
+       {std::vector<RangeSelection>{{0, 0, 1}},
+        std::vector<RangeSelection>{{0, 1, 2}, {2, 0, 1}}}) {
+    Rect inner = env.Box(ranges);
+    CacheHint hint = cache.Probe(inner);
+    ASSERT_EQ(hint.tier, CacheTier::kContainment);
+    auto lease = cache.Acquire(inner, backend, nullptr, &ignored);
+    EXPECT_EQ(lease.tier, CacheTier::kContainment);
+    FocalSubset expected = FocalSubset::Materialize(*env.data, inner);
+    EXPECT_EQ(lease.subset.tids, expected.tids);
+    // The derived subset is now resident: the same box hits exactly.
+    EXPECT_EQ(cache.Probe(inner).tier, CacheTier::kExact);
+  }
+  EXPECT_EQ(cache.telemetry().hits_containment, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ContainmentTest,
+                         ::testing::Values(ExecBackend::kScalar,
+                                           ExecBackend::kBitmap));
+
+TEST(QueryCacheTest, ContainmentPrefersSmallestSource) {
+  Env env = Env::Make(4);
+  QueryCache cache(*env.index, Enabled());
+  uint64_t ignored = 0;
+  auto wide = cache.Acquire(env.Box({{0, 0, 3}}), ExecBackend::kScalar,
+                            nullptr, &ignored);
+  auto tight = cache.Acquire(env.Box({{0, 0, 2}}), ExecBackend::kScalar,
+                             nullptr, &ignored);
+  ASSERT_LT(tight.subset.tids.size(), wide.subset.tids.size());
+  CacheHint hint = cache.Probe(env.Box({{0, 0, 1}}));
+  ASSERT_EQ(hint.tier, CacheTier::kContainment);
+  EXPECT_EQ(hint.cached_size, static_cast<double>(tight.subset.tids.size()));
+}
+
+TEST(QueryCacheTest, LruEvictionUnderTightBudget) {
+  Env env = Env::Make(5);
+  // Budget fits roughly one subset: every new box evicts the stalest.
+  QueryCache cache(*env.index, Enabled(1500));
+  uint64_t ignored = 0;
+  Rect a = env.Box({{0, 0, 1}});
+  Rect b = env.Box({{1, 0, 1}});
+  cache.Acquire(a, ExecBackend::kScalar, nullptr, &ignored);
+  cache.Acquire(b, ExecBackend::kScalar, nullptr, &ignored);
+  CacheTelemetry t = cache.telemetry();
+  EXPECT_GT(t.evictions, 0u);
+  EXPECT_LE(t.bytes, 1500u);
+  // `a` was evicted (least recently used): probing it misses.
+  EXPECT_EQ(cache.Probe(a).tier, CacheTier::kNone);
+}
+
+TEST(QueryCacheTest, DeterministicStateAcrossInstances) {
+  Env env = Env::Make(6);
+  auto run = [&](QueryCache* cache) {
+    uint64_t ignored = 0;
+    for (const auto& ranges :
+         {std::vector<RangeSelection>{{0, 0, 2}},
+          std::vector<RangeSelection>{{0, 0, 1}},
+          std::vector<RangeSelection>{{1, 0, 1}},
+          std::vector<RangeSelection>{{0, 0, 2}}}) {
+      cache->Acquire(env.Box(ranges), ExecBackend::kScalar, nullptr,
+                     &ignored);
+    }
+    return cache->telemetry();
+  };
+  QueryCache scalar_cache(*env.index, Enabled());
+  QueryCache bitmap_like(*env.index, Enabled());
+  CacheTelemetry one = run(&scalar_cache);
+  CacheTelemetry two = run(&bitmap_like);
+  EXPECT_EQ(one.hits_exact, two.hits_exact);
+  EXPECT_EQ(one.hits_containment, two.hits_containment);
+  EXPECT_EQ(one.misses, two.misses);
+  EXPECT_EQ(one.bytes, two.bytes);
+  EXPECT_EQ(one.entries, two.entries);
+}
+
+TEST(QueryCacheTest, MemoCommitAndReplay) {
+  Env env = Env::Make(7);
+  QueryCache cache(*env.index, Enabled());
+  Rect box = env.Box({{0, 0, 1}});
+  uint64_t ignored = 0;
+  cache.Acquire(box, ExecBackend::kScalar, nullptr, &ignored);
+  const std::string key = CanonicalBoxKey(box);
+
+  EXPECT_EQ(cache.MemoLookup(key, 3), nullptr);
+  auto txn = cache.BeginTxn(box);
+  txn->RecordFull(3, 17);
+  // Nothing visible until commit.
+  EXPECT_EQ(cache.MemoLookup(key, 3), nullptr);
+  cache.Commit(txn.get());
+  auto memo = cache.MemoLookup(key, 3);
+  ASSERT_NE(memo, nullptr);
+  EXPECT_EQ(memo->full_count, 17u);
+  EXPECT_TRUE(memo->superset_counts.empty());
+
+  // Upgrade to a table; never downgrade back to full-only.
+  const std::vector<uint32_t> table{20, 18, 17, 17};
+  auto upgrade = cache.BeginTxn(box);
+  upgrade->RecordTable(3, 17, table);
+  cache.Commit(upgrade.get());
+  auto upgraded = cache.MemoLookup(key, 3);
+  ASSERT_NE(upgraded, nullptr);
+  EXPECT_EQ(upgraded->superset_counts, table);
+  auto downgrade = cache.BeginTxn(box);
+  downgrade->RecordFull(3, 17);
+  cache.Commit(downgrade.get());
+  EXPECT_FALSE(cache.MemoLookup(key, 3)->superset_counts.empty());
+}
+
+TEST(QueryCacheTest, MemoCounterReplaysTableExactly) {
+  auto memo = std::make_shared<const CountMemoEntry>(
+      CountMemoEntry{40, {50, 45, 43, 40}});
+  MemoSubsetCounter counter({4, 9}, memo, 60);
+  EXPECT_EQ(counter.CountFull(), 40u);
+  EXPECT_EQ(counter.base_size(), 60u);
+  EXPECT_EQ(counter.record_checks(), 60u);
+  EXPECT_EQ(counter.CountOf(std::vector<ItemId>{}), 50u);
+  EXPECT_EQ(counter.CountOf(std::vector<ItemId>{4}), 45u);
+  EXPECT_EQ(counter.CountOf(std::vector<ItemId>{9}), 43u);
+  EXPECT_EQ(counter.CountOf(std::vector<ItemId>{4, 9}), 40u);
+  // Items outside the base itemset can never be subsets: count 0.
+  EXPECT_EQ(counter.CountOf(std::vector<ItemId>{7}), 0u);
+}
+
+TEST(QueryCacheTest, CommitToEvictedBoxIsDropped) {
+  Env env = Env::Make(8);
+  QueryCache cache(*env.index, Enabled(1500));
+  Rect a = env.Box({{0, 0, 1}});
+  uint64_t ignored = 0;
+  cache.Acquire(a, ExecBackend::kScalar, nullptr, &ignored);
+  auto txn = cache.BeginTxn(a);
+  txn->RecordFull(1, 5);
+  // Evict `a` by inserting another box under the one-subset budget.
+  cache.Acquire(env.Box({{1, 0, 1}}), ExecBackend::kScalar, nullptr,
+                &ignored);
+  ASSERT_EQ(cache.Probe(a).tier, CacheTier::kNone);
+  cache.Commit(txn.get());  // must not resurrect the entry
+  EXPECT_EQ(cache.MemoLookup(CanonicalBoxKey(a), 1), nullptr);
+  EXPECT_EQ(cache.Probe(a).tier, CacheTier::kNone);
+}
+
+TEST(QueryCacheTest, ClearDropsResidencyButKeepsTotals) {
+  Env env = Env::Make(9);
+  QueryCache cache(*env.index, Enabled());
+  uint64_t ignored = 0;
+  cache.Acquire(env.Box({{0, 0, 1}}), ExecBackend::kScalar, nullptr,
+                &ignored);
+  cache.Clear();
+  CacheTelemetry t = cache.telemetry();
+  EXPECT_EQ(t.bytes, 0u);
+  EXPECT_EQ(t.entries, 0u);
+  EXPECT_EQ(t.misses, 1u);
+}
+
+TEST(QueryCacheTest, EngineGatesCacheOnOptions) {
+  Env env = Env::Make(10);
+  EngineOptions off;  // defaults: cache disabled
+  off.index.primary_support = 0.2;
+  off.calibrate = false;
+  auto engine_off = Engine::Build(*env.data, off);
+  ASSERT_TRUE(engine_off.ok());
+  EXPECT_EQ((*engine_off)->cache(), nullptr);
+
+  EngineOptions zero = off;
+  zero.cache.enabled = true;
+  zero.cache.byte_budget = 0;  // explicit 0 budget also disables
+  auto engine_zero = Engine::Build(*env.data, zero);
+  ASSERT_TRUE(engine_zero.ok());
+  EXPECT_EQ((*engine_zero)->cache(), nullptr);
+
+  EngineOptions on = off;
+  on.cache.enabled = true;
+  auto engine_on = Engine::Build(*env.data, on);
+  ASSERT_TRUE(engine_on.ok());
+  ASSERT_NE((*engine_on)->cache(), nullptr);
+
+  // Telemetry flows into results: a repeated query is an exact hit.
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 1}};
+  query.minsupp = 0.4;
+  query.minconf = 0.6;
+  auto first = (*engine_on)->Execute(query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->cache.misses, 1u);
+  EXPECT_EQ(first->cache.hits_exact, 0u);
+  auto second = (*engine_on)->Execute(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache.hits_exact, 1u);
+  EXPECT_EQ(second->cache.misses, 0u);
+  EXPECT_GT(second->cache.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace colarm

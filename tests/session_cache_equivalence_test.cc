@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/engine.h"
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::ReferenceLocalizedRules;
+
+// The cache's headline contract: a warm engine answers every query byte-
+// identically to a cold one — same rules in the same canonical order, same
+// effort counters, same chosen plan. Only wall time and the decision's
+// cache-provenance field may differ.
+
+void ExpectSameEffort(const PlanStats& cold, const PlanStats& warm,
+                      const std::string& context) {
+  EXPECT_EQ(cold.subset_size, warm.subset_size) << context;
+  EXPECT_EQ(cold.local_min_count, warm.local_min_count) << context;
+  EXPECT_EQ(cold.candidates_search, warm.candidates_search) << context;
+  EXPECT_EQ(cold.candidates_contained, warm.candidates_contained) << context;
+  EXPECT_EQ(cold.candidates_qualified, warm.candidates_qualified) << context;
+  EXPECT_EQ(cold.record_checks, warm.record_checks) << context;
+  EXPECT_EQ(cold.rtree_nodes_visited, warm.rtree_nodes_visited) << context;
+  EXPECT_EQ(cold.rtree_pruned_by_support, warm.rtree_pruned_by_support)
+      << context;
+  EXPECT_EQ(cold.rules_considered, warm.rules_considered) << context;
+  EXPECT_EQ(cold.rules_emitted, warm.rules_emitted) << context;
+  EXPECT_EQ(cold.itemsets_skipped, warm.itemsets_skipped) << context;
+  EXPECT_EQ(cold.local_cfis, warm.local_cfis) << context;
+}
+
+void ExpectSameRules(const RuleSet& cold, const RuleSet& warm,
+                     const std::string& context) {
+  ASSERT_EQ(cold.rules.size(), warm.rules.size()) << context;
+  for (size_t r = 0; r < cold.rules.size(); ++r) {
+    EXPECT_EQ(cold.rules[r].antecedent, warm.rules[r].antecedent) << context;
+    EXPECT_EQ(cold.rules[r].consequent, warm.rules[r].consequent) << context;
+    EXPECT_EQ(cold.rules[r].itemset_count, warm.rules[r].itemset_count)
+        << context;
+    EXPECT_EQ(cold.rules[r].antecedent_count, warm.rules[r].antecedent_count)
+        << context;
+    EXPECT_EQ(cold.rules[r].base_count, warm.rules[r].base_count) << context;
+  }
+}
+
+// An exploration session covering every reuse tier: a base region, a
+// threshold sweep over it (count-memo hits), a drill-down contained in it
+// (containment derivation), an exact repeat (exact hit), a disjoint
+// region, and a vocabulary-restricted refinement.
+std::vector<LocalizedQuery> SessionQueries() {
+  std::vector<LocalizedQuery> queries;
+  LocalizedQuery base;
+  base.ranges = {{0, 0, 2}};
+  base.minsupp = 0.3;
+  base.minconf = 0.6;
+  queries.push_back(base);
+  for (double minsupp : {0.4, 0.5}) {
+    LocalizedQuery sweep = base;
+    sweep.minsupp = minsupp;
+    queries.push_back(sweep);
+  }
+  LocalizedQuery drill;
+  drill.ranges = {{0, 0, 1}, {2, 0, 2}};
+  drill.minsupp = 0.35;
+  drill.minconf = 0.55;
+  queries.push_back(drill);
+  queries.push_back(base);  // exact repeat
+  LocalizedQuery other;
+  other.ranges = {{1, 1, 3}};
+  other.minsupp = 0.4;
+  other.minconf = 0.5;
+  queries.push_back(other);
+  LocalizedQuery vocab = base;
+  vocab.minsupp = 0.45;
+  vocab.item_attrs = {1, 2, 3, 4};
+  queries.push_back(vocab);
+  return queries;
+}
+
+class SessionCacheEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<ExecBackend, unsigned>> {};
+
+TEST_P(SessionCacheEquivalenceTest, WarmMatchesColdByteForByte) {
+  const auto [backend, num_threads] = GetParam();
+  auto data = std::make_unique<Dataset>(RandomDataset(51, 260, 5, 4));
+
+  EngineOptions cold_options;
+  cold_options.index.primary_support = 0.2;
+  cold_options.calibrate = false;
+  cold_options.backend = backend;
+  cold_options.num_threads = 1;
+  auto cold_engine = Engine::Build(*data, cold_options);
+  ASSERT_TRUE(cold_engine.ok());
+
+  EngineOptions warm_options = cold_options;
+  warm_options.num_threads = num_threads;
+  warm_options.cache.enabled = true;
+  auto warm_engine = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(warm_engine.ok());
+  ASSERT_NE((*warm_engine)->cache(), nullptr);
+
+  auto queries = SessionQueries();
+  // Two passes through the warm engine: the first populates the cache, the
+  // second runs fully hot. Both must match cold standalone execution.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto cold = (*cold_engine)->Execute(queries[i]);
+      auto warm = (*warm_engine)->Execute(queries[i]);
+      ASSERT_TRUE(cold.ok());
+      ASSERT_TRUE(warm.ok());
+      std::string context =
+          "backend=" + std::to_string(static_cast<int>(backend)) +
+          " threads=" + std::to_string(num_threads) + " pass=" +
+          std::to_string(pass) + " query " + std::to_string(i);
+      EXPECT_TRUE(
+          cold->rules.SameAs(ReferenceLocalizedRules((*cold_engine)->index(),
+                                                     queries[i])))
+          << context;
+      ExpectSameRules(cold->rules, warm->rules, context);
+      ExpectSameEffort(cold->stats, warm->stats, context);
+      EXPECT_EQ(cold->plan_used, warm->plan_used) << context;
+      EXPECT_EQ(cold->decision.chosen, warm->decision.chosen) << context;
+      // Only the SELECT term may be repriced by the cache hint; every
+      // other per-plan estimate field is hint-independent.
+      for (size_t p = 0; p < cold->decision.estimates.size(); ++p) {
+        const auto& ce = cold->decision.estimates[p];
+        const auto& we = warm->decision.estimates[p];
+        EXPECT_EQ(ce.plan, we.plan) << context;
+        EXPECT_DOUBLE_EQ(ce.search, we.search) << context;
+        EXPECT_DOUBLE_EQ(ce.eliminate, we.eliminate) << context;
+        EXPECT_DOUBLE_EQ(ce.verify, we.verify) << context;
+        EXPECT_DOUBLE_EQ(ce.mine, we.mine) << context;
+      }
+    }
+  }
+
+  // The hot pass actually reused state: every query's box is resident by
+  // then, so all second-pass acquisitions were exact hits.
+  CacheTelemetry t = (*warm_engine)->cache()->telemetry();
+  EXPECT_GT(t.hits_exact, 0u);
+  EXPECT_GT(t.hits_count_memo, 0u);
+}
+
+TEST_P(SessionCacheEquivalenceTest, ForcedPlansMatchColdAcrossAllSix) {
+  const auto [backend, num_threads] = GetParam();
+  auto data = std::make_unique<Dataset>(RandomDataset(52, 220, 5, 4));
+
+  EngineOptions cold_options;
+  cold_options.index.primary_support = 0.2;
+  cold_options.calibrate = false;
+  cold_options.backend = backend;
+  cold_options.num_threads = 1;
+  auto cold_engine = Engine::Build(*data, cold_options);
+  ASSERT_TRUE(cold_engine.ok());
+
+  EngineOptions warm_options = cold_options;
+  warm_options.num_threads = num_threads;
+  warm_options.cache.enabled = true;
+  auto warm_engine = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(warm_engine.ok());
+
+  LocalizedQuery outer;
+  outer.ranges = {{0, 0, 2}};
+  outer.minsupp = 0.35;
+  outer.minconf = 0.6;
+  LocalizedQuery inner = outer;
+  inner.ranges = {{0, 0, 1}};
+  inner.minsupp = 0.45;
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const LocalizedQuery& query : {outer, inner}) {
+      for (PlanKind kind : kAllPlans) {
+        auto cold = (*cold_engine)->ExecuteWithPlan(query, kind);
+        auto warm = (*warm_engine)->ExecuteWithPlan(query, kind);
+        ASSERT_TRUE(cold.ok());
+        ASSERT_TRUE(warm.ok());
+        std::string context = std::string("plan ") + PlanKindName(kind) +
+                              " threads=" + std::to_string(num_threads) +
+                              " pass=" + std::to_string(pass);
+        ExpectSameRules(cold->rules, warm->rules, context);
+        ExpectSameEffort(cold->stats, warm->stats, context);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndThreads, SessionCacheEquivalenceTest,
+    ::testing::Combine(::testing::Values(ExecBackend::kScalar,
+                                         ExecBackend::kBitmap),
+                       ::testing::Values(1u, 2u, 8u)));
+
+// Default options build no cache at all: behaviour (including telemetry
+// fields) is exactly the cache-less engine's.
+TEST(SessionCacheEquivalenceTest, DefaultOptionsStayCacheless) {
+  auto data = std::make_unique<Dataset>(RandomDataset(53, 200, 4, 4));
+  EngineOptions options;
+  options.index.primary_support = 0.2;
+  options.calibrate = false;
+  auto engine = Engine::Build(*data, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->cache(), nullptr);
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 1}};
+  query.minsupp = 0.4;
+  query.minconf = 0.6;
+  auto result = (*engine)->Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cache.misses, 0u);
+  EXPECT_EQ(result->cache.hits_exact, 0u);
+  EXPECT_EQ(result->cache.bytes, 0u);
+  EXPECT_EQ(result->decision.cache.tier, CacheTier::kNone);
+}
+
+}  // namespace
+}  // namespace colarm

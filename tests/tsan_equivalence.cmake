@@ -1,0 +1,36 @@
+# Configures a thread-sanitized build of the tree in BUILD_DIR, builds the
+# cache-concurrency suite (parallel batch executor sharing the session
+# cache, warm-vs-cold equivalence across thread counts), and runs it.
+# Driven by the `tsan_equivalence` ctest entry (see tests/CMakeLists.txt);
+# a failure at any step fails the test. Expects SOURCE_DIR and BUILD_DIR.
+
+foreach(var SOURCE_DIR BUILD_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "tsan_equivalence.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCOLARM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "TSan configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target batch_test session_cache_equivalence_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "TSan build failed")
+endif()
+
+foreach(test batch_test session_cache_equivalence_test)
+  execute_process(
+    COMMAND ${BUILD_DIR}/tests/${test}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR "${test} failed under ThreadSanitizer")
+  endif()
+endforeach()

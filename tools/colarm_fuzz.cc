@@ -20,6 +20,7 @@
 //   --threads A,B,...  pool sizes for the thread-invariance sweep
 //                      (default 2,8; "1" alone disables the sweep)
 //   --no-serialize     skip the serialize round-trip invariant
+//   --no-session-cache skip the session-cache replay invariant
 //   --no-shrink        report the raw failing case without minimizing it
 //   --inject-off-by-one  bias the oracle's local minsupport threshold by
 //                      +1 to demonstrate that a >= vs > bug is caught
@@ -52,7 +53,7 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds N] [--seed-base S] [--smoke] "
                "[--minutes M]\n"
                "          [--threads A,B,...] [--no-serialize] "
-               "[--no-shrink] [--inject-off-by-one]\n",
+               "[--no-session-cache] [--no-shrink] [--inject-off-by-one]\n",
                argv0);
   return 2;
 }
@@ -87,6 +88,8 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       flags->smoke = true;
     } else if (arg == "--no-serialize") {
       flags->check.check_serialize = false;
+    } else if (arg == "--no-session-cache") {
+      flags->check.check_session_cache = false;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--inject-off-by-one") {
