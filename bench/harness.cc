@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "common/cpu_features.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "data/histogram.h"
@@ -69,12 +70,13 @@ void AppendScenarioJson(const BenchDataset& dataset, const Engine& engine,
   }
   std::fprintf(out,
                "{\"dataset\":\"%s\",\"records\":%u,\"scale\":%g,"
-               "\"num_threads\":%u,\"backend\":\"%s\","
+               "\"num_threads\":%u,\"backend\":\"%s\",\"simd\":\"%s\","
                "\"index_build_ms\":%.3f,"
                "\"dq\":%g,\"minsupp\":%g,\"minconf\":%g,\"avg_ms\":{",
                dataset.name.c_str(), dataset.data->num_records(),
                ScaleFromEnv(), EngineThreads(engine),
-               ExecBackendName(engine.options().backend), index_build_ms, dq,
+               ExecBackendName(engine.options().backend),
+               SimdLevelName(ActiveSimdLevel()), index_build_ms, dq,
                minsupp, dataset.minconf);
   for (size_t i = 0; i < kAllPlans.size(); ++i) {
     std::fprintf(out, "%s\"%s\":%.4f", i == 0 ? "" : ",",

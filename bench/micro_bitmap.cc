@@ -1,0 +1,245 @@
+// Per-kernel, per-ISA throughput of the dispatched bitmap kernels: every
+// BitmapKernels entry timed at every SIMD level the host supports, with
+// ns/word, effective GB/s, and speedup over the scalar reference. One JSON
+// row per (kernel, level, size) goes to the shared bench sink so the
+// committed BENCH_plans.json records which ISA produced the plan tables
+// next to it. Window sizes cover the L1-resident case the counting plans
+// live in and an L2/L3-sized case for the streaming boolean kernels.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bitmap/kernels.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "harness.h"
+
+namespace colarm {
+namespace bench {
+namespace {
+
+// Median-of-reps wall time for one kernel invocation, in nanoseconds.
+template <typename F>
+double TimeNs(F&& fn, int reps = 9) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    samples.push_back(static_cast<double>(timer.ElapsedNanos()));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct KernelRow {
+  const char* kernel;
+  // Bytes moved per word processed (reads + writes), for the GB/s figure.
+  double bytes_per_word;
+  double (*run)(const BitmapKernels& k, std::vector<uint64_t>& a,
+                std::vector<uint64_t>& b, std::vector<uint64_t>& c,
+                int iters);
+};
+
+uint64_t g_sink = 0;  // defeats dead-code elimination of the count kernels
+
+const KernelRow kRows[] = {
+    {"popcount", 8.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>&, std::vector<uint64_t>&, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) g_sink += k.popcount(a.data(),
+                                                             a.size());
+       });
+     }},
+    {"and_count", 16.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>& b, std::vector<uint64_t>&, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) {
+           g_sink += k.and_count(a.data(), b.data(), a.size());
+         }
+       });
+     }},
+    {"and3_count", 24.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>& b, std::vector<uint64_t>& c, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) {
+           g_sink += k.and3_count(a.data(), b.data(), c.data(), a.size());
+         }
+       });
+     }},
+    {"and_inplace", 24.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>& b, std::vector<uint64_t>&, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) {
+           k.and_inplace(a.data(), b.data(), a.size());
+         }
+       });
+     }},
+    {"or_inplace", 24.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>& b, std::vector<uint64_t>&, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) {
+           k.or_inplace(a.data(), b.data(), a.size());
+         }
+       });
+     }},
+    {"andnot_inplace", 24.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>& b, std::vector<uint64_t>&, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) {
+           k.andnot_inplace(a.data(), b.data(), a.size());
+         }
+       });
+     }},
+    {"and_into", 24.0,
+     [](const BitmapKernels& k, std::vector<uint64_t>& a,
+        std::vector<uint64_t>& b, std::vector<uint64_t>& c, int iters) {
+       return TimeNs([&] {
+         for (int i = 0; i < iters; ++i) {
+           k.and_into(a.data(), b.data(), c.data(), a.size());
+         }
+       });
+     }},
+};
+
+void AppendJsonRow(const char* kernel, SimdLevel level, size_t words,
+                   double ns_per_word, double gbps, double speedup) {
+  std::string path = JsonSinkPath();
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\"micro\":\"bitmap_kernel\",\"kernel\":\"%s\","
+               "\"simd\":\"%s\",\"words\":%zu,\"ns_per_word\":%.5f,"
+               "\"gbps\":%.2f,\"speedup_vs_scalar\":%.2f}\n",
+               kernel, SimdLevelName(level), words, ns_per_word, gbps,
+               speedup);
+  std::fclose(out);
+}
+
+void AppendLowerBoundJsonRow(SimdLevel level, size_t window,
+                             double ns_per_probe, double speedup) {
+  std::string path = JsonSinkPath();
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\"micro\":\"bitmap_kernel\",\"kernel\":\"lower_bound\","
+               "\"simd\":\"%s\",\"window\":%zu,\"ns_per_probe\":%.2f,"
+               "\"speedup_vs_scalar\":%.2f}\n",
+               SimdLevelName(level), window, ns_per_probe, speedup);
+  std::fclose(out);
+}
+
+void RunWordKernels(size_t words) {
+  Rng rng(42);
+  std::vector<uint64_t> a(words), b(words), c(words);
+  for (auto& w : a) w = rng.Next();
+  for (auto& w : b) w = rng.Next();
+  for (auto& w : c) w = rng.Next();
+  // Enough iterations that even the fastest level accumulates ~1 ms.
+  const int iters = static_cast<int>(std::max<size_t>(1, (1u << 22) / words));
+
+  std::printf("window = %zu words (%zu KiB per operand)\n", words,
+              words * 8 / 1024);
+  std::printf("  %-16s", "kernel");
+  for (int l = 0; l <= static_cast<int>(MaxSupportedSimdLevel()); ++l) {
+    std::printf(" %9s(GB/s)", SimdLevelName(static_cast<SimdLevel>(l)));
+  }
+  std::printf("  best-speedup\n");
+
+  for (const KernelRow& row : kRows) {
+    double scalar_ns_word = 0.0;
+    double best_speedup = 1.0;
+    std::printf("  %-16s", row.kernel);
+    for (int l = 0; l <= static_cast<int>(MaxSupportedSimdLevel()); ++l) {
+      const SimdLevel level = static_cast<SimdLevel>(l);
+      const BitmapKernels* table = KernelsForLevel(level);
+      if (table == nullptr) continue;
+      // Fresh operands per level so in-place kernels see identical bytes.
+      std::vector<uint64_t> la = a, lb = b, lc = c;
+      const double ns = row.run(*table, la, lb, lc, iters) / iters;
+      const double ns_word = ns / static_cast<double>(words);
+      const double gbps = row.bytes_per_word / ns_word;
+      if (level == SimdLevel::kScalar) scalar_ns_word = ns_word;
+      const double speedup =
+          ns_word > 0.0 ? scalar_ns_word / ns_word : 0.0;
+      best_speedup = std::max(best_speedup, speedup);
+      std::printf(" %15.1f", gbps);
+      AppendJsonRow(row.kernel, level, words, ns_word, gbps, speedup);
+    }
+    std::printf("  %9.2fx\n", best_speedup);
+  }
+  std::printf("\n");
+}
+
+// The galloping probe's terminal window: sorted tid runs of the size the
+// binary narrowing leaves behind, probed with keys spread over the run.
+void RunLowerBound() {
+  Rng rng(7);
+  std::printf("lower_bound probe (sorted tid window)\n");
+  for (size_t window : {64ul, 256ul, 4096ul}) {
+    std::vector<Tid> data(window);
+    Tid v = 0;
+    for (auto& t : data) {
+      v += 1 + static_cast<Tid>(rng.Uniform(7));
+      t = v;
+    }
+    const int probes = 4096;
+    std::vector<Tid> keys(probes);
+    for (auto& key : keys) key = static_cast<Tid>(rng.Uniform(v + 2));
+
+    double scalar_ns = 0.0;
+    std::printf("  window=%-6zu", window);
+    for (int l = 0; l <= static_cast<int>(MaxSupportedSimdLevel()); ++l) {
+      const SimdLevel level = static_cast<SimdLevel>(l);
+      const BitmapKernels* table = KernelsForLevel(level);
+      if (table == nullptr) continue;
+      volatile size_t sink = 0;
+      const double ns = TimeNs([&] {
+                          size_t acc = 0;
+                          for (Tid key : keys) {
+                            acc += table->lower_bound(data.data(),
+                                                      data.size(), key);
+                          }
+                          sink = acc;
+                        }) /
+                        probes;
+      (void)sink;
+      if (level == SimdLevel::kScalar) scalar_ns = ns;
+      const double speedup = ns > 0.0 ? scalar_ns / ns : 0.0;
+      std::printf("  %s=%6.1fns (%4.2fx)", SimdLevelName(level), ns,
+                  speedup);
+      AppendLowerBoundJsonRow(level, window, ns, speedup);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  std::printf("Dispatched bitmap kernel throughput — host max: %s%s\n\n",
+              SimdLevelName(MaxSupportedSimdLevel()),
+              Avx512HasVpopcntdq() ? " (+vpopcntdq)" : "");
+  RunWordKernels(512);     // 4 KiB operands: L1-resident counting
+  RunWordKernels(131072);  // 1 MiB operands: streaming boolean ops
+  RunLowerBound();
+  if (g_sink == 0xdeadbeef) std::printf("(unreachable sink)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace colarm
+
+int main() {
+  colarm::bench::Run();
+  return 0;
+}

@@ -1,6 +1,9 @@
 // Query console: parse and execute the paper's textual query form against
 // a CSV file (or the built-in salary dataset). Reads one query per line
-// (';'-terminated statements may span lines) from stdin.
+// (';'-terminated statements may span lines) from stdin. Queries share a
+// session cache, so drill-downs and threshold sweeps get warm answers;
+// tier provenance prints per query and a summary at EOF, matching
+// `colarm_cli session`.
 //
 //   $ ./query_console                      # built-in Table 1 salary data
 //   $ ./query_console people.csv           # your own relation
@@ -14,6 +17,7 @@
 
 #include "core/engine.h"
 #include "core/explain.h"
+#include "core/query_cache.h"
 #include "core/query_parser.h"
 #include "data/csv_reader.h"
 #include "data/salary_dataset.h"
@@ -35,6 +39,11 @@ int main(int argc, char** argv) {
 
   EngineOptions options;
   options.index.primary_support = argc > 1 ? 0.1 : 0.27;
+  // A console session is exactly the access pattern the session cache is
+  // for: repeated drill-downs into overlapping focal boxes. Same budget as
+  // `colarm_cli session` (64 MiB).
+  options.cache.enabled = true;
+  options.cache.byte_budget = 64u << 20;
   auto engine = Engine::Build(data, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "index build failed: %s\n",
@@ -70,11 +79,30 @@ int main(int argc, char** argv) {
           std::printf("execution error: %s\n\n",
                       result.status().ToString().c_str());
         } else {
+          // Tier provenance, matching `colarm_cli session` output.
+          if (result->decision.cache.tier != CacheTier::kNone) {
+            std::printf("[cache: %s hit, %.0f cached records]\n",
+                        CacheTierName(result->decision.cache.tier),
+                        result->decision.cache.cached_size);
+          }
           std::printf("%s\n", FormatQueryResult(schema, *result).c_str());
         }
       }
       semi = buffer.find(';');
     }
+  }
+  if ((*engine)->cache() != nullptr) {
+    CacheTelemetry t = (*engine)->cache()->telemetry();
+    std::printf(
+        "session summary: cache exact=%llu containment=%llu memo=%llu "
+        "misses=%llu evictions=%llu resident=%llu bytes / %llu entries\n",
+        static_cast<unsigned long long>(t.hits_exact),
+        static_cast<unsigned long long>(t.hits_containment),
+        static_cast<unsigned long long>(t.hits_count_memo),
+        static_cast<unsigned long long>(t.misses),
+        static_cast<unsigned long long>(t.evictions),
+        static_cast<unsigned long long>(t.bytes),
+        static_cast<unsigned long long>(t.entries));
   }
   return 0;
 }

@@ -1,6 +1,14 @@
 #include "bitmap/bitmap.h"
 
+#include "bitmap/kernels.h"
+
 namespace colarm {
+
+// Every word kernel routes through the runtime-dispatched table
+// (bitmap/kernels.h): scalar, AVX2, or AVX-512 by host capability and the
+// COLARM_SIMD override. Range methods hand the kernel a raw word window,
+// so sharding semantics — and therefore results at any thread count — are
+// identical at every ISA level.
 
 Bitmap Bitmap::FromTids(std::span<const Tid> tids, uint32_t size) {
   Bitmap bitmap(size);
@@ -18,11 +26,8 @@ void Bitmap::Fill() {
 uint64_t Bitmap::Count() const { return CountRange(0, num_words()); }
 
 uint64_t Bitmap::CountRange(uint32_t word_begin, uint32_t word_end) const {
-  uint64_t count = 0;
-  for (uint32_t w = word_begin; w < word_end; ++w) {
-    count += static_cast<uint64_t>(std::popcount(words_[w]));
-  }
-  return count;
+  return ActiveKernels().popcount(words_.data() + word_begin,
+                                  word_end - word_begin);
 }
 
 void Bitmap::AndWith(const Bitmap& other) {
@@ -31,30 +36,28 @@ void Bitmap::AndWith(const Bitmap& other) {
 
 void Bitmap::AndWithRange(const Bitmap& other, uint32_t word_begin,
                           uint32_t word_end) {
-  for (uint32_t w = word_begin; w < word_end; ++w) {
-    words_[w] &= other.words_[w];
-  }
+  ActiveKernels().and_inplace(words_.data() + word_begin,
+                              other.words_.data() + word_begin,
+                              word_end - word_begin);
 }
 
 void Bitmap::AndNotWith(const Bitmap& other) {
-  for (uint32_t w = 0; w < num_words(); ++w) {
-    words_[w] &= ~other.words_[w];
-  }
+  ActiveKernels().andnot_inplace(words_.data(), other.words_.data(),
+                                 num_words());
 }
 
 void Bitmap::OrWith(const Bitmap& other) { OrWithRange(other, 0, num_words()); }
 
 void Bitmap::OrWithRange(const Bitmap& other, uint32_t word_begin,
                          uint32_t word_end) {
-  for (uint32_t w = word_begin; w < word_end; ++w) {
-    words_[w] |= other.words_[w];
-  }
+  ActiveKernels().or_inplace(words_.data() + word_begin,
+                             other.words_.data() + word_begin,
+                             word_end - word_begin);
 }
 
 void Bitmap::AndInto(const Bitmap& a, const Bitmap& b, Bitmap* out) {
-  for (uint32_t w = 0; w < a.num_words(); ++w) {
-    out->words_[w] = a.words_[w] & b.words_[w];
-  }
+  ActiveKernels().and_into(a.words_.data(), b.words_.data(),
+                           out->words_.data(), a.num_words());
 }
 
 uint64_t Bitmap::AndCount(const Bitmap& a, const Bitmap& b) {
@@ -63,20 +66,14 @@ uint64_t Bitmap::AndCount(const Bitmap& a, const Bitmap& b) {
 
 uint64_t Bitmap::AndCountRange(const Bitmap& a, const Bitmap& b,
                                uint32_t word_begin, uint32_t word_end) {
-  uint64_t count = 0;
-  for (uint32_t w = word_begin; w < word_end; ++w) {
-    count += static_cast<uint64_t>(std::popcount(a.words_[w] & b.words_[w]));
-  }
-  return count;
+  return ActiveKernels().and_count(a.words_.data() + word_begin,
+                                   b.words_.data() + word_begin,
+                                   word_end - word_begin);
 }
 
 uint64_t Bitmap::And3Count(const Bitmap& a, const Bitmap& b, const Bitmap& c) {
-  uint64_t count = 0;
-  for (uint32_t w = 0; w < a.num_words(); ++w) {
-    count += static_cast<uint64_t>(
-        std::popcount(a.words_[w] & b.words_[w] & c.words_[w]));
-  }
-  return count;
+  return ActiveKernels().and3_count(a.words_.data(), b.words_.data(),
+                                    c.words_.data(), a.num_words());
 }
 
 uint64_t Bitmap::SumOfBits() const {

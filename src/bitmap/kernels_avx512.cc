@@ -1,0 +1,243 @@
+// AVX-512 kernel tables: 512-bit (8-word) vectors, unaligned loads, scalar
+// tails. Two tables live here and the dispatch picks by CPUID sub-feature:
+//
+//   kAvx512VpopcntKernels  counting via vpopcntq (AVX512VPOPCNTDQ) — one
+//                          instruction per 8 words; the functions carry a
+//                          target attribute so only this table's entries
+//                          ever contain vpopcntq encodings.
+//   kAvx512Kernels         F-only fallback: 512-bit loads/ANDs, popcount
+//                          by splitting each vector into 256-bit halves
+//                          through the AVX2 nibble-lookup (AVX-512F implies
+//                          AVX2, so this TU may use both).
+//
+// This translation unit alone is compiled with -mavx512f (see
+// src/CMakeLists.txt); nothing here runs unless the runtime dispatch
+// (common/cpu_features) proved the host executes AVX-512F.
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "bitmap/kernels.h"
+
+namespace colarm {
+
+namespace {
+
+// ---- shared 512-bit boolean kernels (AVX-512F only) ----
+
+inline __m512i Load512(const uint64_t* p, size_t i) {
+  return _mm512_loadu_si512(p + 8 * i);
+}
+
+void Avx512AndInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(
+        dst + i, _mm512_and_si512(Load512(dst, i / 8), Load512(src, i / 8)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void Avx512OrInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(
+        dst + i, _mm512_or_si512(Load512(dst, i / 8), Load512(src, i / 8)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void Avx512AndNotInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // andnot computes ~first & second, so src is the first operand.
+    _mm512_storeu_si512(dst + i, _mm512_andnot_si512(Load512(src, i / 8),
+                                                     Load512(dst, i / 8)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+void Avx512AndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                   size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(
+        out + i, _mm512_and_si512(Load512(a, i / 8), Load512(b, i / 8)));
+  }
+  for (; i < n; ++i) out[i] = a[i] & b[i];
+}
+
+size_t Avx512LowerBound(const Tid* data, size_t n, Tid key) {
+  // Binary steps to a small window, then a 16-lane unsigned compare scan.
+  size_t lo = 0;
+  size_t hi = n;
+  while (hi - lo > 128) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const __m512i keyv = _mm512_set1_epi32(static_cast<int>(key));
+  size_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    const __mmask16 lt = _mm512_cmplt_epu32_mask(v, keyv);
+    // Sorted input makes the mask a prefix of ones; the first zero bit is
+    // the first element >= key.
+    if (lt != 0xffffu) return i + std::countr_one(static_cast<uint32_t>(lt));
+  }
+  for (; i < hi; ++i) {
+    if (data[i] >= key) return i;
+  }
+  return hi;
+}
+
+// ---- F-only counting: AVX2 nibble-lookup popcount on 256-bit halves ----
+
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                         _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline __m256i Popcount512To256(__m512i v) {
+  return _mm256_add_epi64(Popcount256(_mm512_castsi512_si256(v)),
+                          Popcount256(_mm512_extracti64x4_epi64(v, 1)));
+}
+
+inline uint64_t HorizontalSum256(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+uint64_t Avx512Popcount(const uint64_t* a, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_epi64(acc, Popcount512To256(Load512(a, i / 8)));
+  }
+  uint64_t count = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i]));
+  }
+  return count;
+}
+
+uint64_t Avx512AndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_epi64(
+        acc, Popcount512To256(
+                 _mm512_and_si512(Load512(a, i / 8), Load512(b, i / 8))));
+  }
+  uint64_t count = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+uint64_t Avx512And3Count(const uint64_t* a, const uint64_t* b,
+                         const uint64_t* c, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_epi64(
+        acc,
+        Popcount512To256(_mm512_and_si512(
+            _mm512_and_si512(Load512(a, i / 8), Load512(b, i / 8)),
+            Load512(c, i / 8))));
+  }
+  uint64_t count = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i] & c[i]));
+  }
+  return count;
+}
+
+// ---- VPOPCNTDQ counting: vpopcntq per vector ----
+//
+// The target attribute (rather than a TU-wide -mavx512vpopcntdq) confines
+// vpopcntq encodings to these three functions, so the F-only table above
+// stays executable on AVX-512F hosts without the extension — the compiler
+// must not auto-vectorize the fallback's scalar tails into vpopcntq.
+
+#define COLARM_VPOPCNT_TARGET \
+  __attribute__((target("avx512f,avx512vpopcntdq")))
+
+COLARM_VPOPCNT_TARGET
+uint64_t VpopcntPopcount(const uint64_t* a, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(Load512(a, i / 8)));
+  }
+  uint64_t count = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i]));
+  }
+  return count;
+}
+
+COLARM_VPOPCNT_TARGET
+uint64_t VpopcntAndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(
+                 _mm512_and_si512(Load512(a, i / 8), Load512(b, i / 8))));
+  }
+  uint64_t count = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+COLARM_VPOPCNT_TARGET
+uint64_t VpopcntAnd3Count(const uint64_t* a, const uint64_t* b,
+                          const uint64_t* c, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(
+                 _mm512_and_si512(Load512(a, i / 8), Load512(b, i / 8)),
+                 Load512(c, i / 8))));
+  }
+  uint64_t count = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i] & c[i]));
+  }
+  return count;
+}
+
+#undef COLARM_VPOPCNT_TARGET
+
+}  // namespace
+
+const BitmapKernels kAvx512Kernels = {
+    Avx512Popcount,  Avx512AndCount,      Avx512And3Count, Avx512AndInplace,
+    Avx512OrInplace, Avx512AndNotInplace, Avx512AndInto,   Avx512LowerBound,
+};
+
+const BitmapKernels kAvx512VpopcntKernels = {
+    VpopcntPopcount, VpopcntAndCount,     VpopcntAnd3Count, Avx512AndInplace,
+    Avx512OrInplace, Avx512AndNotInplace, Avx512AndInto,    Avx512LowerBound,
+};
+
+}  // namespace colarm

@@ -1,0 +1,35 @@
+// Resolves the runtime kernel dispatch: SimdLevel (common/cpu_features) ->
+// kernel table. The per-ISA tables live in their own translation units so
+// each can carry its own per-file -m flags; this TU is portable and only
+// references the tables the build compiled in (COLARM_HAVE_*_TU come from
+// src/CMakeLists.txt alongside the per-file flags).
+#include "bitmap/kernels.h"
+
+namespace colarm {
+
+const BitmapKernels* KernelsForLevel(SimdLevel level) {
+  if (!SimdLevelSupported(level)) return nullptr;
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &kScalarKernels;
+#ifdef COLARM_HAVE_AVX2_TU
+    case SimdLevel::kAvx2:
+      return &kAvx2Kernels;
+#endif
+#ifdef COLARM_HAVE_AVX512_TU
+    case SimdLevel::kAvx512:
+      return Avx512HasVpopcntdq() ? &kAvx512VpopcntKernels : &kAvx512Kernels;
+#endif
+    default:
+      // SimdLevelSupported() already excludes levels whose TU is absent;
+      // this is unreachable but keeps -Wswitch quiet on non-x86 builds.
+      return &kScalarKernels;
+  }
+}
+
+const BitmapKernels& ActiveKernels() {
+  const BitmapKernels* table = KernelsForLevel(ActiveSimdLevel());
+  return table != nullptr ? *table : kScalarKernels;
+}
+
+}  // namespace colarm

@@ -1,0 +1,68 @@
+// Portable scalar kernel table: the 64-bit word loops every platform can
+// run, and the reference semantics the AVX2/AVX-512 tables must reproduce
+// bit-for-bit. Compiled without any ISA flags so the shipped binary's
+// baseline stays runnable on the oldest supported x86-64 (and on non-x86,
+// where it is the only table).
+#include <algorithm>
+#include <bit>
+
+#include "bitmap/kernels.h"
+
+namespace colarm {
+
+namespace {
+
+uint64_t ScalarPopcount(const uint64_t* a, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i]));
+  }
+  return count;
+}
+
+uint64_t ScalarAndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+uint64_t ScalarAnd3Count(const uint64_t* a, const uint64_t* b,
+                         const uint64_t* c, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i] & c[i]));
+  }
+  return count;
+}
+
+void ScalarAndInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void ScalarOrInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void ScalarAndNotInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+void ScalarAndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] & b[i];
+}
+
+size_t ScalarLowerBound(const Tid* data, size_t n, Tid key) {
+  return static_cast<size_t>(std::lower_bound(data, data + n, key) - data);
+}
+
+}  // namespace
+
+const BitmapKernels kScalarKernels = {
+    ScalarPopcount,   ScalarAndCount,      ScalarAnd3Count, ScalarAndInplace,
+    ScalarOrInplace,  ScalarAndNotInplace, ScalarAndInto,   ScalarLowerBound,
+};
+
+}  // namespace colarm

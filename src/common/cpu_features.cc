@@ -1,0 +1,133 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define COLARM_CPU_X86 1
+#endif
+
+namespace colarm {
+
+namespace {
+
+#ifdef COLARM_CPU_X86
+
+struct HostFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512vpopcntdq = false;
+};
+
+// XGETBV(0) via inline asm: the <immintrin.h> _xgetbv wrapper demands
+// -mxsave, which would defeat the portable-baseline build of this TU. Only
+// executed after CPUID confirmed OSXSAVE, so the instruction exists.
+uint64_t Xgetbv0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0u));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+// CPUID feature bits plus the XGETBV check that the OS actually saves the
+// wider register state — an AVX2 CPUID bit alone does not make YMM usable
+// (e.g. under a hypervisor with XSAVE masked off).
+HostFeatures DetectHost() {
+  HostFeatures features;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return features;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return features;
+  const uint64_t xcr0 = Xgetbv0();
+  const bool ymm_state = (xcr0 & 0x6) == 0x6;          // XMM + YMM
+  const bool zmm_state = (xcr0 & 0xe6) == 0xe6;        // + opmask, ZMM hi
+  if (!ymm_state) return features;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return features;
+  features.avx2 = (ebx & (1u << 5)) != 0;
+  features.avx512f = zmm_state && (ebx & (1u << 16)) != 0;
+  features.avx512vpopcntdq = features.avx512f && (ecx & (1u << 14)) != 0;
+  return features;
+}
+
+const HostFeatures& Host() {
+  static const HostFeatures features = DetectHost();
+  return features;
+}
+
+#endif  // COLARM_CPU_X86
+
+// Relaxed is enough: switches happen only between kernel runs (see the
+// SetActiveSimdLevel contract) and any load observes a valid level.
+std::atomic<int>& ActiveLevelStorage() {
+  static std::atomic<int> level{
+      static_cast<int>(ResolveSimdLevel(std::getenv("COLARM_SIMD"),
+                                        MaxSupportedSimdLevel()))};
+  return level;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<SimdLevel> SimdLevelFromName(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return std::nullopt;
+}
+
+SimdLevel MaxSupportedSimdLevel() {
+#ifdef COLARM_CPU_X86
+#ifdef COLARM_HAVE_AVX512_TU
+  if (Host().avx512f) return SimdLevel::kAvx512;
+#endif
+#ifdef COLARM_HAVE_AVX2_TU
+  if (Host().avx2) return SimdLevel::kAvx2;
+#endif
+#endif
+  return SimdLevel::kScalar;
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(MaxSupportedSimdLevel());
+}
+
+bool Avx512HasVpopcntdq() {
+#ifdef COLARM_CPU_X86
+  return Host().avx512vpopcntdq;
+#else
+  return false;
+#endif
+}
+
+SimdLevel ResolveSimdLevel(const char* env_value, SimdLevel max) {
+  if (env_value == nullptr || *env_value == '\0') return max;
+  std::optional<SimdLevel> named = SimdLevelFromName(env_value);
+  if (!named.has_value()) return max;
+  return static_cast<int>(*named) < static_cast<int>(max) ? *named : max;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return static_cast<SimdLevel>(
+      ActiveLevelStorage().load(std::memory_order_relaxed));
+}
+
+bool SetActiveSimdLevel(SimdLevel level) {
+  if (!SimdLevelSupported(level)) return false;
+  ActiveLevelStorage().store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace colarm

@@ -1,0 +1,58 @@
+#ifndef COLARM_COMMON_CPU_FEATURES_H_
+#define COLARM_COMMON_CPU_FEATURES_H_
+
+#include <optional>
+#include <string>
+
+namespace colarm {
+
+/// SIMD instruction-set tiers the bitmap kernel layer dispatches between.
+/// Ordered: a level implies every lower one, so "clamp to the host's best"
+/// is a simple min. kAvx512 means AVX-512F; whether the VPOPCNTDQ popcount
+/// refinement is used within that tier is a separate CPUID sub-feature
+/// (Avx512HasVpopcntdq) resolved inside the dispatch table.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// "scalar" / "avx2" / "avx512" — the COLARM_SIMD vocabulary.
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a COLARM_SIMD value; nullopt on anything unrecognized.
+std::optional<SimdLevel> SimdLevelFromName(const std::string& name);
+
+/// The best level this binary can actually execute: the CPUID-detected
+/// host capability (with OS XSAVE state checks for YMM/ZMM) intersected
+/// with what the build compiled in (non-x86 builds carry only scalar).
+SimdLevel MaxSupportedSimdLevel();
+
+/// True iff `level` is executable here (level <= MaxSupportedSimdLevel()).
+bool SimdLevelSupported(SimdLevel level);
+
+/// Host has the AVX-512 VPOPCNTDQ extension (vpopcntq); only meaningful
+/// when MaxSupportedSimdLevel() == kAvx512.
+bool Avx512HasVpopcntdq();
+
+/// Pure resolution rule for the initial dispatch level, exposed for tests:
+/// no override -> `max`; a recognized name -> min(named, max) so asking
+/// for an unavailable tier degrades gracefully; an unrecognized name is
+/// ignored (-> `max`).
+SimdLevel ResolveSimdLevel(const char* env_value, SimdLevel max);
+
+/// The level the kernel dispatch table currently targets. Resolved once on
+/// first use from ResolveSimdLevel(getenv("COLARM_SIMD"), max); later
+/// changed only by SetActiveSimdLevel.
+SimdLevel ActiveSimdLevel();
+
+/// Re-points the dispatch at `level` (tests, benches, and the fuzzer's
+/// simd-equivalence sweep). Returns false — and changes nothing — when the
+/// level is not executable here. Takes effect for subsequent kernel calls;
+/// callers must not switch concurrently with running kernels (the sweep
+/// harnesses switch only between runs, while worker pools are quiescent).
+bool SetActiveSimdLevel(SimdLevel level);
+
+}  // namespace colarm
+
+#endif  // COLARM_COMMON_CPU_FEATURES_H_

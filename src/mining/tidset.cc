@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bitmap/kernels.h"
+
 namespace colarm {
 
 namespace {
@@ -13,8 +15,11 @@ namespace {
 constexpr size_t kGallopSkewRatio = 32;
 
 // First index i >= begin with b[i] >= key, found by exponential probing
-// from `begin` followed by a binary search inside the bracketed window.
-// Cheap when consecutive keys land near each other in b.
+// from `begin` followed by a lower-bound search inside the bracketed
+// window. Cheap when consecutive keys land near each other in b. The
+// window search goes through the dispatched SIMD kernel: binary steps down
+// to a small window, then an 8/16-lane compare scan — same index on every
+// ISA level (the lower bound is unique), only the probe cost changes.
 size_t GallopLowerBound(std::span<const Tid> b, size_t begin, Tid key) {
   if (begin >= b.size() || b[begin] >= key) return begin;
   size_t bound = 1;
@@ -23,10 +28,7 @@ size_t GallopLowerBound(std::span<const Tid> b, size_t begin, Tid key) {
   // begin + bound].
   const size_t lo = begin + (bound >> 1) + 1;
   const size_t hi = std::min(begin + bound + 1, b.size());
-  return static_cast<size_t>(
-      std::lower_bound(b.begin() + static_cast<ptrdiff_t>(lo),
-                       b.begin() + static_cast<ptrdiff_t>(hi), key) -
-      b.begin());
+  return lo + ActiveKernels().lower_bound(b.data() + lo, hi - lo, key);
 }
 
 uint32_t GallopIntersectSize(std::span<const Tid> small,

@@ -8,6 +8,7 @@
 #include <map>
 #include <utility>
 
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/engine.h"
@@ -518,6 +519,75 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
       }
       for (size_t qi : shuffled) check_pass("shuffled", qi);
     }
+  }
+
+  // SIMD equivalence: re-run representative plans at every kernel ISA level
+  // this host can execute and require byte-identical rules AND effort
+  // counters against the forced-scalar kernels. kSEV on the scalar backend
+  // drives the galloping lower-bound probe; the bitmap backend drives the
+  // word kernels; kARM stresses tidset intersection hardest. Levels switch
+  // only between runs (pools quiescent), and the entry level is restored
+  // before returning so later invariants see the caller's configuration.
+  if (options.check_simd) {
+    const SimdLevel original = ActiveSimdLevel();
+    const int max_level = static_cast<int>(MaxSupportedSimdLevel());
+    const PlanKind simd_plans[] = {PlanKind::kSEV, PlanKind::kARM};
+    ThreadPool* shared_pool = pools.empty() ? nullptr : pools.back().get();
+    for (size_t qi = 0; max_level > 0 && qi < fuzz_case.queries.size(); ++qi) {
+      const LocalizedQuery& query = fuzz_case.queries[qi];
+      if (!query.Validate(schema).ok()) continue;
+      for (PlanKind kind : simd_plans) {
+        for (ExecBackend backend :
+             {ExecBackend::kScalar, ExecBackend::kBitmap}) {
+          if (backend == ExecBackend::kBitmap && !options.check_backends) {
+            continue;
+          }
+          const char* backend_name =
+              backend == ExecBackend::kBitmap ? "bitmap" : "scalar";
+          SetActiveSimdLevel(SimdLevel::kScalar);
+          auto baseline = run_plan(*index, kind, query, nullptr, backend);
+          if (!baseline.ok()) {
+            fail("simd-equivalence", qi,
+                 StrFormat("%s %s scalar baseline: %s", PlanKindName(kind),
+                           backend_name, baseline.status().ToString().c_str()));
+            continue;
+          }
+          std::vector<ThreadPool*> run_pools{nullptr};
+          if (shared_pool != nullptr) run_pools.push_back(shared_pool);
+          for (int l = 1; l <= max_level; ++l) {
+            const SimdLevel level = static_cast<SimdLevel>(l);
+            if (!SetActiveSimdLevel(level)) continue;
+            for (ThreadPool* pool : run_pools) {
+              const unsigned threads = pool ? pool->parallelism() : 1;
+              auto got = run_plan(*index, kind, query, pool, backend);
+              if (!got.ok()) {
+                fail("simd-equivalence", qi,
+                     StrFormat("%s %s @%s x%u: %s", PlanKindName(kind),
+                               backend_name, SimdLevelName(level), threads,
+                               got.status().ToString().c_str()));
+                continue;
+              }
+              if (!got->rules.SameAs(baseline->rules)) {
+                fail("simd-equivalence", qi,
+                     StrFormat("%s %s @%s x%u: %s", PlanKindName(kind),
+                               backend_name, SimdLevelName(level), threads,
+                               DiffRuleSets(schema, got->rules,
+                                            baseline->rules)
+                                   .c_str()));
+              }
+              std::string effort = DiffEffort(got->stats, baseline->stats);
+              if (!effort.empty()) {
+                fail("simd-equivalence", qi,
+                     StrFormat("%s %s @%s x%u effort: %s", PlanKindName(kind),
+                               backend_name, SimdLevelName(level), threads,
+                               effort.c_str()));
+              }
+            }
+          }
+        }
+      }
+    }
+    SetActiveSimdLevel(original);
   }
   return violations;
 }

@@ -35,6 +35,11 @@ struct CheckOptions {
   /// shuffled order — requiring byte-identical rules, effort counters, and
   /// plan decisions against a cache-less engine.
   bool check_session_cache = true;
+  /// Re-run representative plans at every SIMD kernel level the host can
+  /// execute (AVX2, AVX-512) and require byte-identical rules and effort
+  /// counters against the forced-scalar kernels, on both execution
+  /// backends and thread counts. No-op on hosts without vector ISAs.
+  bool check_simd = true;
   OracleOptions oracle;
 };
 
@@ -56,6 +61,9 @@ struct CheckOptions {
 ///                       cache (warm, cache-hot, and shuffled-order passes,
 ///                       on both backends) answers every query exactly like
 ///                       a cache-less engine
+///   simd-equivalence    every SIMD level the host supports (scalar, AVX2,
+///                       AVX-512) yields byte-identical rules and effort
+///                       counters on both backends, at 1 and N threads
 std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
                                  const CheckOptions& options = {});
 

@@ -19,17 +19,24 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
-          --target bitmap_test backend_equivalence_test
+          --target bitmap_test kernels_test backend_equivalence_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "ASan build failed")
 endif()
 
-foreach(test bitmap_test backend_equivalence_test)
-  execute_process(
-    COMMAND ${BUILD_DIR}/tests/${test}
-    RESULT_VARIABLE run_result)
-  if(NOT run_result EQUAL 0)
-    message(FATAL_ERROR "${test} failed under AddressSanitizer")
-  endif()
+# Default dispatch (host-best kernels) plus a forced-scalar pass: the
+# scalar table is the reference every other level is compared against, so
+# it gets the same memory-safety gate as the vector paths.
+foreach(level "" scalar)
+  foreach(test bitmap_test kernels_test backend_equivalence_test)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env COLARM_SIMD=${level}
+              ${BUILD_DIR}/tests/${test}
+      RESULT_VARIABLE run_result)
+    if(NOT run_result EQUAL 0)
+      message(FATAL_ERROR
+              "${test} failed under AddressSanitizer (COLARM_SIMD='${level}')")
+    endif()
+  endforeach()
 endforeach()

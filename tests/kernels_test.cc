@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+#include "bitmap/kernels.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+
+namespace colarm {
+namespace {
+
+// Window lengths chosen to hit every tail shape: empty, sub-word, exactly
+// the AVX2 (4-word) and AVX-512 (8-word) vector widths and their
+// neighbours, the Harley-Seal 64-word block size and its neighbours, and
+// sizes that leave every possible vector-body + scalar-tail split.
+const std::vector<size_t> kWindowSizes = {
+    0,  1,  2,  3,  4,  5,  7,  8,  9,  15, 16,  17,  31,   32,
+    33, 63, 64, 65, 66, 96, 100, 127, 128, 129, 255, 256, 257, 1000};
+
+// Word offsets that start a window mid-vector-register: a shard boundary
+// produced by the thread pool can land anywhere, so the kernels must be
+// exact from any alignment, not just from word 0 of an allocation.
+const std::vector<size_t> kOffsets = {0, 1, 2, 3, 5, 7};
+
+std::vector<const BitmapKernels*> AvailableTables() {
+  std::vector<const BitmapKernels*> tables;
+  for (int l = 0; l <= static_cast<int>(MaxSupportedSimdLevel()); ++l) {
+    const BitmapKernels* table = KernelsForLevel(static_cast<SimdLevel>(l));
+    EXPECT_NE(table, nullptr) << "supported level " << l << " has no table";
+    if (table != nullptr) tables.push_back(table);
+  }
+  return tables;
+}
+
+std::vector<uint64_t> RandomWords(Rng* rng, size_t n) {
+  std::vector<uint64_t> words(n);
+  for (auto& w : words) w = rng->Next();
+  return words;
+}
+
+// Guard sentinel wrapped around a window: catches any kernel that writes
+// (or round-trips) a single word outside [p, p + n).
+constexpr uint64_t kGuard = 0xdeadbeefcafef00dull;
+
+class KernelsTest : public ::testing::Test {
+ protected:
+  Rng rng_{20260808};
+};
+
+TEST_F(KernelsTest, ScalarTableAlwaysAvailable) {
+  EXPECT_EQ(KernelsForLevel(SimdLevel::kScalar), &kScalarKernels);
+  EXPECT_TRUE(SimdLevelSupported(SimdLevel::kScalar));
+}
+
+TEST_F(KernelsTest, CountKernelsMatchScalarAtAnyOffsetAndLength) {
+  const auto tables = AvailableTables();
+  const size_t max_offset = kOffsets.back();
+  const size_t slab = kWindowSizes.back() + max_offset;
+  const auto a = RandomWords(&rng_, slab);
+  const auto b = RandomWords(&rng_, slab);
+  const auto c = RandomWords(&rng_, slab);
+  for (size_t n : kWindowSizes) {
+    for (size_t off : kOffsets) {
+      const uint64_t* pa = a.data() + off;
+      const uint64_t* pb = b.data() + off;
+      const uint64_t* pc = c.data() + off;
+      const uint64_t want_pop = kScalarKernels.popcount(pa, n);
+      const uint64_t want_and = kScalarKernels.and_count(pa, pb, n);
+      const uint64_t want_and3 = kScalarKernels.and3_count(pa, pb, pc, n);
+      for (const BitmapKernels* table : tables) {
+        EXPECT_EQ(table->popcount(pa, n), want_pop) << n << "+" << off;
+        EXPECT_EQ(table->and_count(pa, pb, n), want_and) << n << "+" << off;
+        EXPECT_EQ(table->and3_count(pa, pb, pc, n), want_and3)
+            << n << "+" << off;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, CountKernelsOnEmptyAndFullWindows) {
+  for (size_t n : kWindowSizes) {
+    const std::vector<uint64_t> zero(n, 0);
+    const std::vector<uint64_t> full(n, ~0ull);
+    for (const BitmapKernels* table : AvailableTables()) {
+      EXPECT_EQ(table->popcount(zero.data(), n), 0u);
+      EXPECT_EQ(table->popcount(full.data(), n), 64 * n);
+      EXPECT_EQ(table->and_count(zero.data(), full.data(), n), 0u);
+      EXPECT_EQ(table->and_count(full.data(), full.data(), n), 64 * n);
+      EXPECT_EQ(table->and3_count(full.data(), full.data(), zero.data(), n),
+                0u);
+      EXPECT_EQ(table->and3_count(full.data(), full.data(), full.data(), n),
+                64 * n);
+    }
+  }
+}
+
+TEST_F(KernelsTest, BooleanKernelsMatchScalarAndStayInsideWindow) {
+  const auto tables = AvailableTables();
+  for (size_t n : kWindowSizes) {
+    for (size_t off : kOffsets) {
+      const size_t slab = off + n + 2;  // one guard word each side
+      auto src_slab = RandomWords(&rng_, slab);
+      auto base_slab = RandomWords(&rng_, slab);
+      const uint64_t* src = src_slab.data() + off + 1;
+
+      struct Op {
+        const char* name;
+        void (*apply)(const BitmapKernels&, uint64_t*, const uint64_t*,
+                      size_t);
+      };
+      const Op ops[] = {
+          {"and", [](const BitmapKernels& k, uint64_t* d, const uint64_t* s,
+                     size_t m) { k.and_inplace(d, s, m); }},
+          {"or", [](const BitmapKernels& k, uint64_t* d, const uint64_t* s,
+                    size_t m) { k.or_inplace(d, s, m); }},
+          {"andnot", [](const BitmapKernels& k, uint64_t* d,
+                        const uint64_t* s,
+                        size_t m) { k.andnot_inplace(d, s, m); }},
+      };
+      for (const Op& op : ops) {
+        std::vector<uint64_t> want = base_slab;
+        op.apply(kScalarKernels, want.data() + off + 1, src, n);
+        for (const BitmapKernels* table : tables) {
+          std::vector<uint64_t> got = base_slab;
+          got[off] = kGuard;
+          got[off + n + 1] = kGuard;
+          op.apply(*table, got.data() + off + 1, src, n);
+          EXPECT_EQ(got[off], kGuard) << op.name << " " << n << "+" << off;
+          EXPECT_EQ(got[off + n + 1], kGuard)
+              << op.name << " " << n << "+" << off;
+          EXPECT_EQ(std::memcmp(got.data() + off + 1, want.data() + off + 1,
+                                n * sizeof(uint64_t)),
+                    0)
+              << op.name << " " << n << "+" << off;
+        }
+      }
+
+      // and_into writes a third buffer; same guard discipline.
+      std::vector<uint64_t> want_out(n + 2, 0);
+      kScalarKernels.and_into(base_slab.data() + off + 1, src,
+                              want_out.data() + 1, n);
+      for (const BitmapKernels* table : tables) {
+        std::vector<uint64_t> out(n + 2, kGuard);
+        table->and_into(base_slab.data() + off + 1, src, out.data() + 1, n);
+        EXPECT_EQ(out[0], kGuard) << n << "+" << off;
+        EXPECT_EQ(out[n + 1], kGuard) << n << "+" << off;
+        EXPECT_EQ(std::memcmp(out.data() + 1, want_out.data() + 1,
+                              n * sizeof(uint64_t)),
+                  0)
+            << "and_into " << n << "+" << off;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, LowerBoundMatchesScalarAcrossWindowShapes) {
+  const auto tables = AvailableTables();
+  for (size_t n : kWindowSizes) {
+    if (n > 300) continue;  // the probe windows are small by construction
+    // Sorted keys with duplicates and gaps; values spread so probes hit
+    // below-front, between, on-duplicate, and past-back cases.
+    std::vector<Tid> data(n);
+    Tid v = 5;
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = v;
+      v += static_cast<Tid>(rng_.Uniform(3));  // 0 => duplicate run
+    }
+    std::vector<Tid> keys = {0, 5};
+    if (n > 0) {
+      keys.push_back(data.front());
+      keys.push_back(data.back());
+      keys.push_back(static_cast<Tid>(data.back() + 1));
+      keys.push_back(data[n / 2]);
+      if (data[n / 2] > 0) keys.push_back(static_cast<Tid>(data[n / 2] - 1));
+    }
+    for (int extra = 0; extra < 16; ++extra) {
+      keys.push_back(static_cast<Tid>(rng_.Uniform(v + 2)));
+    }
+    for (Tid key : keys) {
+      const size_t want = kScalarKernels.lower_bound(data.data(), n, key);
+      for (const BitmapKernels* table : tables) {
+        EXPECT_EQ(table->lower_bound(data.data(), n, key), want)
+            << "n=" << n << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, LowerBoundHandlesUnsignedExtremes) {
+  // Keys and data near 2^31 and 2^32 catch any signed-compare shortcut in
+  // the vector scan (the AVX2 path biases to signed range on purpose).
+  const std::vector<Tid> data = {0u,          1u,          0x7ffffffeu,
+                                 0x7fffffffu, 0x80000000u, 0x80000001u,
+                                 0xfffffffeu, 0xffffffffu};
+  for (const BitmapKernels* table : AvailableTables()) {
+    for (Tid key : data) {
+      EXPECT_EQ(table->lower_bound(data.data(), data.size(), key),
+                kScalarKernels.lower_bound(data.data(), data.size(), key))
+          << key;
+    }
+    EXPECT_EQ(table->lower_bound(data.data(), data.size(), 0x80000002u), 6u);
+    EXPECT_EQ(table->lower_bound(data.data(), 0, 42u), 0u);
+  }
+}
+
+// Bitmap-level coverage: every dispatched level must preserve the
+// tail-word slack invariant (bits past size() stay zero so Count and the
+// range kernels are trustworthy) at non-multiple-of-64 sizes, and range
+// operations split at arbitrary word boundaries must compose exactly.
+TEST_F(KernelsTest, BitmapTailSlackAndShardSplitsAtEveryLevel) {
+  const SimdLevel original = ActiveSimdLevel();
+  for (int l = 0; l <= static_cast<int>(MaxSupportedSimdLevel()); ++l) {
+    ASSERT_TRUE(SetActiveSimdLevel(static_cast<SimdLevel>(l)));
+    for (uint32_t size : {1u, 63u, 64u, 65u, 100u, 129u, 1000u, 4097u}) {
+      Bitmap a(size);
+      Bitmap b(size);
+      std::vector<bool> ref_a(size, false);
+      std::vector<bool> ref_b(size, false);
+      for (Tid t = 0; t < size; ++t) {
+        if (rng_.Bernoulli(0.4)) {
+          a.Set(t);
+          ref_a[t] = true;
+        }
+        if (rng_.Bernoulli(0.6)) {
+          b.Set(t);
+          ref_b[t] = true;
+        }
+      }
+      uint64_t want_and = 0;
+      uint64_t want_a = 0;
+      for (Tid t = 0; t < size; ++t) {
+        want_a += ref_a[t];
+        want_and += ref_a[t] && ref_b[t];
+      }
+      EXPECT_EQ(a.Count(), want_a) << size << " @level " << l;
+      EXPECT_EQ(Bitmap::AndCount(a, b), want_and) << size << " @level " << l;
+
+      // Shard the word range at every interior boundary a pool could pick:
+      // per-shard counts must sum to the whole, mid-register or not.
+      const size_t words = (size + 63) / 64;
+      for (size_t split : {size_t{1}, words / 3, words / 2, words - 1}) {
+        if (split == 0 || split >= words) continue;
+        const uint32_t mid = static_cast<uint32_t>(split);
+        const uint32_t end = static_cast<uint32_t>(words);
+        EXPECT_EQ(a.CountRange(0, mid) + a.CountRange(mid, end), want_a)
+            << size << " split " << split;
+        EXPECT_EQ(Bitmap::AndCountRange(a, b, 0, mid) +
+                      Bitmap::AndCountRange(a, b, mid, end),
+                  want_and)
+            << size << " split " << split;
+      }
+
+      Bitmap full(size);
+      full.Fill();
+      EXPECT_EQ(full.Count(), size) << size << " @level " << l;
+      EXPECT_EQ(Bitmap::AndCount(full, a), want_a) << size << " @level " << l;
+      Bitmap empty(size);
+      EXPECT_EQ(Bitmap::AndCount(empty, full), 0u) << size << " @level " << l;
+    }
+  }
+  SetActiveSimdLevel(original);
+}
+
+}  // namespace
+}  // namespace colarm

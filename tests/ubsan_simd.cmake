@@ -1,0 +1,43 @@
+# Configures a UBSan build of the tree in BUILD_DIR, builds the kernel and
+# equivalence suites, and runs them once per SIMD level with COLARM_SIMD
+# forced — the per-ISA intrinsics TUs execute under
+# -fsanitize=undefined at every dispatch level the host can reach (the env
+# override clamps to the host maximum, so forcing "avx512" on an AVX2-only
+# machine degrades to a redundant-but-valid rerun rather than a failure).
+# Driven by the `ubsan_simd` ctest entry; any step failing fails the test.
+# Expects SOURCE_DIR and BUILD_DIR.
+
+foreach(var SOURCE_DIR BUILD_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "ubsan_simd.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCOLARM_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "UBSan configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target bitmap_test kernels_test simd_equivalence_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "UBSan build failed")
+endif()
+
+foreach(level scalar avx2 avx512)
+  foreach(test bitmap_test kernels_test simd_equivalence_test)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env COLARM_SIMD=${level}
+              ${BUILD_DIR}/tests/${test}
+      RESULT_VARIABLE run_result)
+    if(NOT run_result EQUAL 0)
+      message(FATAL_ERROR
+              "${test} failed under UBSan with COLARM_SIMD=${level}")
+    endif()
+  endforeach()
+endforeach()

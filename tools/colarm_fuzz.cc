@@ -3,8 +3,9 @@
 // Each seed expands into a deterministic random case (schema, dataset,
 // primary support, query batch) that is checked against every metamorphic
 // invariant: all six plans vs. the brute-force oracle, thread-count
-// invariance (1/2/8), serialize round-trips, threshold monotonicity, and
-// focal-box containment dominance. The first failing case is shrunk to a
+// invariance (1/2/8), serialize round-trips, threshold monotonicity,
+// focal-box containment dominance, backend and session-cache equivalence,
+// and SIMD kernel-level equivalence. The first failing case is shrunk to a
 // minimal dataset+query reproducer and printed as a ready-to-paste test.
 //
 // Usage:
@@ -21,6 +22,7 @@
 //                      (default 2,8; "1" alone disables the sweep)
 //   --no-serialize     skip the serialize round-trip invariant
 //   --no-session-cache skip the session-cache replay invariant
+//   --no-simd          skip the SIMD kernel-level equivalence invariant
 //   --no-shrink        report the raw failing case without minimizing it
 //   --inject-off-by-one  bias the oracle's local minsupport threshold by
 //                      +1 to demonstrate that a >= vs > bug is caught
@@ -53,7 +55,8 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds N] [--seed-base S] [--smoke] "
                "[--minutes M]\n"
                "          [--threads A,B,...] [--no-serialize] "
-               "[--no-session-cache] [--no-shrink] [--inject-off-by-one]\n",
+               "[--no-session-cache] [--no-simd] [--no-shrink] "
+               "[--inject-off-by-one]\n",
                argv0);
   return 2;
 }
@@ -90,6 +93,8 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       flags->check.check_serialize = false;
     } else if (arg == "--no-session-cache") {
       flags->check.check_session_cache = false;
+    } else if (arg == "--no-simd") {
+      flags->check.check_simd = false;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--inject-off-by-one") {
