@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-
+#include <limits>
 #include <optional>
 
 #include "common/cpu_features.h"
@@ -16,29 +17,49 @@
 namespace colarm {
 namespace bench {
 
+namespace {
+
+// A benchmark knob that silently falls back to its default turns a typo
+// into a wrong experiment: COLARM_BENCH_SCALE=O.5 quietly measuring the
+// full dataset, or COLARM_BENCH_THREADS=1x publishing "sequential" numbers
+// from a parallel run. Misparses are fatal; unset or empty means default.
+[[noreturn]] void DieOnBadKnob(const char* name, const char* value,
+                               const char* expected) {
+  std::fprintf(stderr, "%s=\"%s\" is invalid: expected %s\n", name, value,
+               expected);
+  std::exit(2);
+}
+
+}  // namespace
+
 double ScaleFromEnv() {
   const char* env = std::getenv("COLARM_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  double scale = 1.0;
-  if (!ParseDouble(env, &scale) || scale <= 0.0) return 1.0;
+  if (env == nullptr || *env == '\0') return 1.0;
+  double scale = 0.0;
+  if (!ParseDouble(env, &scale) || scale <= 0.0) {
+    DieOnBadKnob("COLARM_BENCH_SCALE", env, "a number > 0");
+  }
   return scale;
 }
 
 unsigned ThreadsFromEnv() {
   const char* env = std::getenv("COLARM_BENCH_THREADS");
   if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  unsigned long threads = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0') return 0;
+  uint64_t threads = 0;
+  if (!ParseUint64(env, &threads) ||
+      threads > std::numeric_limits<unsigned>::max()) {
+    DieOnBadKnob("COLARM_BENCH_THREADS", env,
+                 "a non-negative integer (0 = hardware concurrency)");
+  }
   return static_cast<unsigned>(threads);
 }
 
 ExecBackend BackendFromEnv() {
   const char* env = std::getenv("COLARM_BENCH_BACKEND");
-  if (env != nullptr && std::strcmp(env, "bitmap") == 0) {
-    return ExecBackend::kBitmap;
-  }
-  return ExecBackend::kScalar;
+  if (env == nullptr || *env == '\0') return ExecBackend::kScalar;
+  if (std::strcmp(env, "bitmap") == 0) return ExecBackend::kBitmap;
+  if (std::strcmp(env, "scalar") == 0) return ExecBackend::kScalar;
+  DieOnBadKnob("COLARM_BENCH_BACKEND", env, "\"scalar\" or \"bitmap\"");
 }
 
 std::string JsonSinkPath() {

@@ -22,16 +22,19 @@ struct BenchDataset {
 };
 
 /// Scale factor for dataset sizes, read from COLARM_BENCH_SCALE (default
-/// 1.0). Values < 1 shrink record counts for quick smoke runs.
+/// 1.0). Values < 1 shrink record counts for quick smoke runs. A value
+/// that does not parse as a number > 0 is fatal (stderr + exit 2): a
+/// silently defaulted knob mislabels the whole run.
 double ScaleFromEnv();
 
 /// Worker threads for the engine, read from COLARM_BENCH_THREADS: 0
 /// (default) = hardware concurrency, 1 = the exact sequential path.
+/// Misparses are fatal (stderr + exit 2).
 unsigned ThreadsFromEnv();
 
 /// Execution backend for the engine, read from COLARM_BENCH_BACKEND:
-/// "scalar" (default) or "bitmap". Unrecognized values fall back to
-/// scalar. The backend also lands in the JSON sink so runs are
+/// "scalar" (default) or "bitmap". Anything else is fatal (stderr +
+/// exit 2). The backend also lands in the JSON sink so runs are
 /// attributable after the fact.
 ExecBackend BackendFromEnv();
 

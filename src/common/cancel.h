@@ -1,0 +1,82 @@
+#ifndef COLARM_COMMON_CANCEL_H_
+#define COLARM_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace colarm {
+
+/// Cooperative cancellation handle for one request: an absolute deadline
+/// plus an external kill switch (server shutdown, client disconnect). The
+/// record-level operators poll Cancelled() at candidate granularity — each
+/// candidate costs a full focal-subset pass, so the poll is amortized to
+/// noise — and unwind via CancelledException, which ExecutePlan converts
+/// into Status kDeadlineExceeded. A default-constructed token never fires.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Token expiring `ms` milliseconds from now; ms <= 0 = no deadline.
+  /// (The atomic flag makes tokens immovable, so this is a constructor
+  /// rather than a factory.)
+  explicit CancelToken(double ms) {
+    if (ms > 0) {
+      deadline_ = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(ms));
+      has_deadline_ = true;
+    }
+  }
+
+  void SetDeadline(Clock::time_point at) {
+    deadline_ = at;
+    has_deadline_ = true;
+  }
+
+  /// Chains this token to a longer-lived one (e.g. a per-request token to
+  /// the server's shutdown kill-switch): Cancelled() also fires when the
+  /// parent fires. The parent must outlive this token. Not thread-safe —
+  /// set before sharing the token.
+  void SetParent(const CancelToken* parent) { parent_ = parent; }
+
+  /// External kill switch; safe to call from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (parent_ != nullptr && parent_->Cancelled()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// Thrown by operator loops when their CancelToken fires. ParallelChunks
+/// propagates the first shard's exception to the region caller (siblings
+/// finish their claimed chunk and unclaimed chunks are abandoned), so one
+/// expired shard unwinds the whole plan without stranding the pool.
+class CancelledException : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "query cancelled (deadline exceeded or connection dropped)";
+  }
+};
+
+/// Poll-point helper for operator loops.
+inline void ThrowIfCancelled(const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->Cancelled()) throw CancelledException();
+}
+
+}  // namespace colarm
+
+#endif  // COLARM_COMMON_CANCEL_H_

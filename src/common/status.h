@@ -17,6 +17,7 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kParseError,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -51,6 +52,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -74,7 +74,8 @@ Result<BatchResult> BatchExecutor::Execute(
     pool = own_pool.get();
   }
 
-  QueryCache* cache = engine_->cache();
+  QueryCache* cache = options.cache_override != nullptr ? options.cache_override
+                                                       : engine_->cache();
   if (cache == nullptr && !IsParallel(pool)) {
     COLARM_RETURN_IF_ERROR(SequentialExecute(queries, options, &batch));
     batch.total_ms = timer.ElapsedMillis();
@@ -200,6 +201,7 @@ Result<BatchResult> BatchExecutor::Execute(
     exec.backend = engine_->options().backend;
     exec.cache = cache;
     exec.memo_txn = txns[i].get();
+    exec.cancel = options.cancel;
     Result<PlanResult> plan = ExecutePlan(kind, index, query, exec);
     if (!plan.ok()) {
       std::lock_guard<std::mutex> lock(failure_mutex);
@@ -286,6 +288,7 @@ Status BatchExecutor::SequentialExecute(
     exec.arm_miner = engine_->options().arm_miner;
     exec.shared_subset = shared;
     exec.backend = engine_->options().backend;
+    exec.cancel = options.cancel;
     Result<PlanResult> plan = ExecutePlan(kind, index, query, exec);
     if (!plan.ok()) return plan.status();
 

@@ -25,6 +25,15 @@ struct BatchOptions {
   /// decisions) and the sharing counters match the sequential run, and
   /// results stay in input order.
   unsigned num_threads = 0;
+  /// Runs the batch against a caller-owned session cache instead of the
+  /// engine's (multi-tenant serving: one engine, one cache per tenant).
+  /// Null keeps the engine's cache. Must be built over the engine's index.
+  QueryCache* cache_override = nullptr;
+  /// Cooperative cancellation for the whole batch (the server uses the
+  /// earliest deadline of the batched requests). When it fires, Execute
+  /// returns kDeadlineExceeded; callers needing per-request granularity
+  /// fall back to single-query execution with per-request tokens.
+  const CancelToken* cancel = nullptr;
 };
 
 struct BatchResult {

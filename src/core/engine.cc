@@ -59,8 +59,13 @@ Result<std::unique_ptr<Engine>> Engine::Build(const Dataset& dataset,
 }
 
 Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
-                                bool use_optimizer) const {
+                                bool use_optimizer,
+                                const SessionContext& session) const {
   COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
+
+  // A session may carry its own cache (per-tenant serving); otherwise the
+  // engine-owned one (possibly null = caching off) applies.
+  QueryCache* cache = session.cache != nullptr ? session.cache : cache_.get();
 
   // Probe before planning so the decision records what the SELECT stage
   // will actually do; the memo transaction buffers this query's count
@@ -69,15 +74,15 @@ Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
   CacheHint hint;
   CacheTelemetry before;
   std::unique_ptr<CountMemoTxn> txn;
-  if (cache_ != nullptr) {
+  if (cache != nullptr) {
     const Rect box = query.ToRect(index_->dataset().schema());
-    hint = cache_->Probe(box);
-    before = cache_->telemetry();
-    if (options_.cache.count_memo) txn = cache_->BeginTxn(box);
+    hint = cache->Probe(box);
+    before = cache->telemetry();
+    if (cache->options().count_memo) txn = cache->BeginTxn(box);
   }
 
   OptimizerDecision decision =
-      optimizer_->Choose(query, cache_ != nullptr ? &hint : nullptr);
+      optimizer_->Choose(query, cache != nullptr ? &hint : nullptr);
   const PlanKind kind = use_optimizer ? decision.chosen : forced;
 
   PlanExecOptions exec;
@@ -85,11 +90,12 @@ Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
   exec.arm_miner = options_.arm_miner;
   exec.pool = pool_.get();
   exec.backend = options_.backend;
-  exec.cache = cache_.get();
+  exec.cache = cache;
   exec.memo_txn = txn.get();
+  exec.cancel = session.cancel;
   Result<PlanResult> plan = ExecutePlan(kind, *index_, query, exec);
   if (!plan.ok()) return plan.status();
-  if (txn != nullptr) cache_->Commit(txn.get());
+  if (txn != nullptr) cache->Commit(txn.get());
 
   QueryResult result;
   result.rules = std::move(plan->rules);
@@ -97,8 +103,8 @@ Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
   result.chosen_by_optimizer = use_optimizer;
   result.stats = plan->stats;
   result.decision = decision;
-  if (cache_ != nullptr) {
-    const CacheTelemetry after = cache_->telemetry();
+  if (cache != nullptr) {
+    const CacheTelemetry after = cache->telemetry();
     result.cache.hits_exact = after.hits_exact - before.hits_exact;
     result.cache.hits_containment =
         after.hits_containment - before.hits_containment;
@@ -116,15 +122,26 @@ Result<QueryResult> Engine::Execute(const LocalizedQuery& query) const {
   return Run(query, PlanKind::kSEV, /*use_optimizer=*/true);
 }
 
+Result<QueryResult> Engine::Execute(const LocalizedQuery& query,
+                                    const SessionContext& session) const {
+  return Run(query, PlanKind::kSEV, /*use_optimizer=*/true, session);
+}
+
 Result<QueryResult> Engine::ExecuteWithPlan(const LocalizedQuery& query,
                                             PlanKind kind) const {
   return Run(query, kind, /*use_optimizer=*/false);
 }
 
 Result<OptimizerDecision> Engine::Explain(const LocalizedQuery& query) const {
+  return Explain(query, SessionContext{});
+}
+
+Result<OptimizerDecision> Engine::Explain(const LocalizedQuery& query,
+                                          const SessionContext& session) const {
   COLARM_RETURN_IF_ERROR(query.Validate(index_->dataset().schema()));
-  if (cache_ != nullptr) {
-    CacheHint hint = cache_->Probe(query.ToRect(index_->dataset().schema()));
+  QueryCache* cache = session.cache != nullptr ? session.cache : cache_.get();
+  if (cache != nullptr) {
+    CacheHint hint = cache->Probe(query.ToRect(index_->dataset().schema()));
     return optimizer_->Choose(query, &hint);
   }
   return optimizer_->Choose(query);

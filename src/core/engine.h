@@ -61,6 +61,22 @@ struct QueryResult {
   CacheTelemetry cache;
 };
 
+/// Per-call execution context for multi-tenant serving (src/server): lets
+/// one shared engine run a query against a caller-owned session cache — a
+/// tenant's drill-down sequence hits its own containment tiers without
+/// polluting other tenants' — under a cooperative cancellation token
+/// (per-request deadline, shutdown drain). Default-constructed it is
+/// byte-identical to the plain entry points.
+struct SessionContext {
+  /// Overrides the engine-owned cache for this call; null keeps the
+  /// engine's (which may itself be null = caching off). The cache must
+  /// have been built over this engine's index.
+  QueryCache* cache = nullptr;
+  /// When set, the plan executors poll it and the call returns
+  /// kDeadlineExceeded instead of a result once it fires.
+  const CancelToken* cancel = nullptr;
+};
+
 /// The top-level COLARM engine (Figure 2): owns the offline-built MIP-index
 /// plus statistics and the cost-based optimizer, and executes online
 /// localized rule mining queries with the optimizer-selected plan.
@@ -83,6 +99,11 @@ class Engine {
   /// Executes `query` with the plan the optimizer picks.
   Result<QueryResult> Execute(const LocalizedQuery& query) const;
 
+  /// Executes `query` under a session context: against the context's cache
+  /// (per-tenant sessions) and cancellation token (request deadlines).
+  Result<QueryResult> Execute(const LocalizedQuery& query,
+                              const SessionContext& session) const;
+
   /// Executes `query` with a caller-forced plan (used by benchmarks and
   /// the plan-equivalence tests).
   Result<QueryResult> ExecuteWithPlan(const LocalizedQuery& query,
@@ -90,6 +111,11 @@ class Engine {
 
   /// Cost estimates for all plans without executing anything.
   Result<OptimizerDecision> Explain(const LocalizedQuery& query) const;
+
+  /// Explain under a session context: the cache hint comes from the
+  /// context's cache, so a tenant sees its own warm-tier repricing.
+  Result<OptimizerDecision> Explain(const LocalizedQuery& query,
+                                    const SessionContext& session) const;
 
   const MipIndex& index() const { return *index_; }
   const Optimizer& optimizer() const { return *optimizer_; }
@@ -106,7 +132,8 @@ class Engine {
   Engine() = default;
 
   Result<QueryResult> Run(const LocalizedQuery& query, PlanKind forced,
-                          bool use_optimizer) const;
+                          bool use_optimizer,
+                          const SessionContext& session = {}) const;
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;

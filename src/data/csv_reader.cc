@@ -18,42 +18,145 @@ struct RawTable {
   std::vector<std::vector<std::string>> rows;  // row-major cells
 };
 
+// RFC-4180 cell scanner. A field may be double-quoted, in which case it
+// can carry the delimiter, newlines, and escaped quotes (`""`); whitespace
+// around an unquoted cell is stripped (legacy behaviour), whitespace
+// around a quoted section is ignored, whitespace inside quotes is
+// preserved. Blank lines are skipped; a quote opening mid-field, content
+// after a closing quote, and an unterminated quote are structured parse
+// errors carrying the offending line number.
 Result<RawTable> ParseCells(const std::string& contents,
                             const CsvOptions& options) {
   RawTable table;
-  std::istringstream in(contents);
-  std::string line;
   bool saw_header = !options.has_header;
   size_t expected_cols = 0;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view stripped = StripWhitespace(line);
-    if (stripped.empty()) continue;
-    std::vector<std::string> cells = SplitString(stripped, options.delimiter);
-    for (std::string& cell : cells) {
-      cell = std::string(StripWhitespace(cell));
-    }
+
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  bool after_quote = false;    // closing quote seen; only ws may follow
+  bool cell_was_quoted = false;
+  bool record_meaningful = false;  // a delimiter, a quote, or non-ws content
+  size_t line_no = 1;
+  size_t record_line = 1;  // line the current record started on
+  size_t quote_line = 0;   // line the current quoted section opened on
+
+  auto finish_cell = [&] {
+    if (!cell_was_quoted) cell = std::string(StripWhitespace(cell));
+    cells.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+    after_quote = false;
+  };
+  auto emit_record = [&]() -> Status {
+    finish_cell();
+    std::vector<std::string> row = std::move(cells);
+    cells.clear();
     if (!saw_header) {
-      table.header = std::move(cells);
+      table.header = std::move(row);
       expected_cols = table.header.size();
       saw_header = true;
-      continue;
+      return Status::OK();
     }
     if (expected_cols == 0) {
-      expected_cols = cells.size();
+      expected_cols = row.size();
       // Synthesize header names col0..colN-1 when no header row exists.
       for (size_t i = 0; i < expected_cols; ++i) {
         table.header.push_back(StrFormat("col%zu", i));
       }
     }
-    if (cells.size() != expected_cols) {
+    if (row.size() != expected_cols) {
       return Status::ParseError(
-          StrFormat("line %zu has %zu fields, expected %zu", line_no,
-                    cells.size(), expected_cols));
+          StrFormat("line %zu has %zu fields, expected %zu", record_line,
+                    row.size(), expected_cols));
     }
-    table.rows.push_back(std::move(cells));
+    table.rows.push_back(std::move(row));
+    return Status::OK();
+  };
+
+  const size_t n = contents.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = contents[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && contents[i + 1] == '"') {
+          cell.push_back('"');  // escaped quote
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        after_quote = true;
+        ++i;
+        continue;
+      }
+      if (c == '\n') ++line_no;
+      cell.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (after_quote) {
+        return Status::ParseError(StrFormat(
+            "line %zu: content after closing quote", line_no));
+      }
+      if (!StripWhitespace(cell).empty() || cell_was_quoted) {
+        return Status::ParseError(StrFormat(
+            "line %zu: quote opens in the middle of a field", line_no));
+      }
+      cell.clear();  // drop the whitespace preceding the quoted section
+      in_quotes = true;
+      cell_was_quoted = true;
+      record_meaningful = true;
+      quote_line = line_no;
+      ++i;
+      continue;
+    }
+    if (after_quote && c != options.delimiter && c != '\n' &&
+        !(c == '\r' && i + 1 < n && contents[i + 1] == '\n')) {
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      return Status::ParseError(
+          StrFormat("line %zu: content after closing quote", line_no));
+    }
+    if (c == options.delimiter) {
+      record_meaningful = true;
+      finish_cell();
+      ++i;
+      continue;
+    }
+    if (c == '\r' && i + 1 < n && contents[i + 1] == '\n') {
+      ++i;  // CRLF: the newline branch below consumes the '\n'
+      continue;
+    }
+    if (c == '\n') {
+      ++line_no;
+      ++i;
+      if (!record_meaningful) {
+        // Blank (or all-whitespace) line: skip without emitting.
+        cell.clear();
+        record_line = line_no;
+        continue;
+      }
+      COLARM_RETURN_IF_ERROR(emit_record());
+      record_meaningful = false;
+      record_line = line_no;
+      continue;
+    }
+    cell.push_back(c);
+    if (c != ' ' && c != '\t' && c != '\r') record_meaningful = true;
+    ++i;
   }
+  if (in_quotes) {
+    return Status::ParseError(
+        StrFormat("line %zu: unterminated quoted field", quote_line));
+  }
+  if (record_meaningful) {
+    COLARM_RETURN_IF_ERROR(emit_record());  // no trailing newline
+  }
+
   if (table.rows.empty()) {
     return Status::ParseError("CSV contains no data rows");
   }

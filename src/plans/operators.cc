@@ -140,6 +140,7 @@ void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
     scratch = Bitmap(ctx->vertical->num_records());
   }
   for (uint32_t id : candidates) {
+    ThrowIfCancelled(ctx->cancel);
     if (!ctx->MipAttrsAllowed(id)) continue;
     const Mip& mip = ctx->index.mip(id);
     uint32_t count = 0;
@@ -287,6 +288,7 @@ void VerifyRange(PlanContext* ctx, std::span<const QualifiedItemset> qualified,
   const Dataset& dataset = ctx->index.dataset();
   const bool memo = MemoActive(*ctx);
   for (const QualifiedItemset& q : qualified) {
+    ThrowIfCancelled(ctx->cancel);
     const Itemset& items = ctx->index.mip(q.mip_id).items;
     if (memo && TryMemoVerify(ctx, q.mip_id, items, out, rule_stats,
                               record_checks)) {
@@ -323,6 +325,7 @@ void SupportedVerifyRange(PlanContext* ctx,
   const Dataset& dataset = ctx->index.dataset();
   const bool memo = MemoActive(*ctx);
   for (uint32_t id : candidates) {
+    ThrowIfCancelled(ctx->cancel);
     if (!ctx->MipAttrsAllowed(id)) continue;
     const Itemset& items = ctx->index.mip(id).items;
     if (memo) {
@@ -421,6 +424,7 @@ std::vector<QualifiedItemset> ArmMineFpGrowth(PlanContext* ctx) {
       ctx->index.dataset(), ctx->subset.tids, ctx->local_min_count);
   ctx->local_cfis = frequent.size();
   for (const FrequentItemset& f : frequent) {
+    ThrowIfCancelled(ctx->cancel);
     auto id = ctx->index.ittree().Find(f.items);
     if (!id.has_value()) continue;
     if (!ctx->MipAttrsAllowed(*id)) continue;
@@ -448,8 +452,11 @@ std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
   std::vector<bool> seen(ctx->index.num_mips(), false);
   std::vector<uint32_t> hits;
 
+  // The miner's closure callback is the finest interruption point the ARM
+  // plan has — CHARM's recursion itself is not resumable.
   MineCharm(local_view, ctx->local_min_count,
             [&](const Itemset& items, const Tidset& tids) {
+              ThrowIfCancelled(ctx->cancel);
               ++ctx->local_cfis;
               local_tree.Insert(items, static_cast<uint32_t>(tids.size()));
               // Intersect with the prestored family: every globally stored

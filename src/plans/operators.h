@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "mining/rule_generator.h"
 #include "mip/mip_index.h"
@@ -85,6 +86,12 @@ struct PlanContext {
   /// cold-computed counts into the transaction for later queries.
   QueryCache* cache = nullptr;
   CountMemoTxn* memo_txn = nullptr;
+
+  /// Cooperative cancellation: the per-candidate operator loops poll it
+  /// (each candidate costs a focal-subset pass, so the poll is amortized)
+  /// and unwind with CancelledException — inside a ParallelChunks shard the
+  /// region rethrows it to the plan driver. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 
   std::vector<bool> item_attr_mask;
   FocalSubset subset;

@@ -97,10 +97,16 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
   ctx.cache = exec.cache;
   ctx.memo_txn = exec.memo_txn;
   ctx.arm_miner = exec.arm_miner;
+  ctx.cancel = exec.cancel;
   stats.select_ms = stage.ElapsedMillis();
   stats.subset_size = ctx.subset.size();
   stats.local_min_count = ctx.local_min_count;
 
+  // Cooperative cancellation: the operator loops poll the token per
+  // candidate and unwind with CancelledException (rethrown by
+  // ParallelChunks when the poll fires inside a shard); the catch below
+  // converts the unwind into a Status so callers never see an exception.
+  try {
   if (ctx.subset.size() > 0) {
     switch (kind) {
       case PlanKind::kSEV: {
@@ -202,6 +208,10 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
         break;
       }
     }
+  }
+  } catch (const CancelledException&) {
+    return Status::DeadlineExceeded(
+        StrFormat("plan %s cancelled mid-execution", PlanKindName(kind)));
   }
 
   stats.record_checks = ctx.record_checks;

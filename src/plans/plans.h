@@ -4,6 +4,7 @@
 #include <array>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "mining/rule.h"
 #include "plans/operators.h"
@@ -87,6 +88,11 @@ struct PlanExecOptions {
   /// committed state, writes buffer here until the owner commits them at a
   /// deterministic point. Both must be set for the memo tier to engage.
   CountMemoTxn* memo_txn = nullptr;
+  /// Cooperative cancellation (per-request deadlines, server shutdown).
+  /// The record-level operators poll it at candidate granularity and the
+  /// plan driver at stage boundaries; when it fires, ExecutePlan returns
+  /// Status kDeadlineExceeded instead of a result. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Executes one plan end to end. All six plans return the same rule set

@@ -105,5 +105,147 @@ TEST(CsvReaderTest, WhitespaceTrimmed) {
   EXPECT_EQ(data->schema().attribute(0).values[0], "x");
 }
 
+// ---- RFC-4180 quote handling ----
+
+TEST(CsvReaderTest, QuotedCellsDropQuotes) {
+  const std::string csv =
+      "city,product\n"
+      "\"boston\",\"apple\"\n"
+      "seattle,pear\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"boston", "seattle"}));
+}
+
+TEST(CsvReaderTest, DelimiterInsideQuotes) {
+  const std::string csv =
+      "company,title\n"
+      "\"Acme, Inc.\",engineer\n"
+      "\"Globex, LLC\",manager\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_attributes(), 2u);
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"Acme, Inc.", "Globex, LLC"}));
+}
+
+TEST(CsvReaderTest, EscapedQuoteInsideQuotes) {
+  const std::string csv =
+      "name\n"
+      "\"say \"\"hi\"\"\"\n"
+      "plain\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"say \"hi\"", "plain"}));
+}
+
+TEST(CsvReaderTest, NewlineInsideQuotes) {
+  const std::string csv =
+      "note,tag\n"
+      "\"line one\nline two\",a\n"
+      "short,b\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_records(), 2u);
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"line one\nline two", "short"}));
+}
+
+TEST(CsvReaderTest, WhitespacePreservedInsideQuotes) {
+  const std::string csv =
+      "a,b\n"
+      "\" padded \", x \n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values[0], " padded ");
+  EXPECT_EQ(data->schema().attribute(1).values[0], "x");
+}
+
+TEST(CsvReaderTest, WhitespaceAroundQuotedSectionIgnored) {
+  const std::string csv =
+      "a,b\n"
+      "  \"x\"  ,y\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values[0], "x");
+}
+
+TEST(CsvReaderTest, CrlfLineEndings) {
+  const std::string csv = "a,b\r\nx,y\r\n\"q\",z\r\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_records(), 2u);
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"x", "q"}));
+}
+
+TEST(CsvReaderTest, QuotedEmptyCellIsEmptyNotMissingQuote) {
+  const std::string csv =
+      "a,b\n"
+      "\"\",y\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values[0], "<missing>");
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteFails) {
+  const std::string csv =
+      "a,b\n"
+      "\"never closed,y\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+  EXPECT_NE(data.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvReaderTest, ContentAfterClosingQuoteFails) {
+  const std::string csv =
+      "a,b\n"
+      "\"x\"tail,y\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReaderTest, QuoteMidFieldFails) {
+  const std::string csv =
+      "a,b\n"
+      "x\"y\",z\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReaderTest, MultiLineCellKeepsLaterLineNumbersRight) {
+  // The quoted cell spans lines 2-3, so the ragged row below it is line 4.
+  const std::string csv =
+      "a,b\n"
+      "\"one\ntwo\",x\n"
+      "lonely\n";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(CsvReaderTest, BlankLinesStillSkippedAndFinalLineMayLackNewline) {
+  const std::string csv = "a,b\n\n   \nx,y\nq,r";
+  auto data = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_records(), 2u);
+  EXPECT_EQ(data->schema().attribute(0).values,
+            (std::vector<std::string>{"x", "q"}));
+}
+
+TEST(CsvReaderTest, QuotedDelimiterWithCustomDelimiter) {
+  const std::string csv = "a;b\n\"x;1\";y\n";
+  CsvOptions options;
+  options.delimiter = ';';
+  auto data = ReadCsvString(csv, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->schema().attribute(0).values[0], "x;1");
+}
+
 }  // namespace
 }  // namespace colarm

@@ -1,0 +1,161 @@
+// Socket-free tests of the server wire protocol: the line framer's torn
+// and oversized frames, command parsing negatives, and response builders.
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace colarm {
+namespace {
+
+using Event = LineFramer::Event;
+
+std::vector<std::string> DrainLines(LineFramer* framer) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (;;) {
+    Event e = framer->Next(&line);
+    if (e == Event::kNeedMore) return lines;
+    if (e == Event::kLine) lines.push_back(line);
+    // kOversized: keep draining; the framer resynchronizes itself.
+  }
+}
+
+TEST(LineFramerTest, SplitsCompleteLines) {
+  LineFramer framer(64);
+  const std::string bytes = "HELLO a\nSTATS\nQUIT\n";
+  framer.Append(bytes.data(), bytes.size());
+  EXPECT_EQ(DrainLines(&framer),
+            (std::vector<std::string>{"HELLO a", "STATS", "QUIT"}));
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+}
+
+TEST(LineFramerTest, TornFrameReassembledAcrossAppends) {
+  LineFramer framer(64);
+  // One line arriving a byte at a time — the worst-case torn frame.
+  const std::string bytes = "HELLO tenant\n";
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    framer.Append(&bytes[i], 1);
+    std::string line;
+    EXPECT_EQ(framer.Next(&line), Event::kNeedMore);
+  }
+  framer.Append(&bytes[bytes.size() - 1], 1);
+  std::string line;
+  ASSERT_EQ(framer.Next(&line), Event::kLine);
+  EXPECT_EQ(line, "HELLO tenant");
+}
+
+TEST(LineFramerTest, CrlfStripped) {
+  LineFramer framer(64);
+  const std::string bytes = "STATS\r\n";
+  framer.Append(bytes.data(), bytes.size());
+  std::string line;
+  ASSERT_EQ(framer.Next(&line), Event::kLine);
+  EXPECT_EQ(line, "STATS");
+}
+
+TEST(LineFramerTest, OversizedLineReportedOnceThenDiscarded) {
+  LineFramer framer(8);
+  const std::string big(100, 'x');
+  framer.Append(big.data(), big.size());
+  std::string line;
+  EXPECT_EQ(framer.Next(&line), Event::kOversized);
+  EXPECT_EQ(framer.Next(&line), Event::kNeedMore);
+  // More junk on the same monster line: still discarding, no second report.
+  framer.Append(big.data(), big.size());
+  EXPECT_EQ(framer.Next(&line), Event::kNeedMore);
+  // The newline ends the discard; the next line frames normally.
+  const std::string tail = "\nQUIT\n";
+  framer.Append(tail.data(), tail.size());
+  ASSERT_EQ(framer.Next(&line), Event::kLine);
+  EXPECT_EQ(line, "QUIT");
+  EXPECT_EQ(framer.Next(&line), Event::kNeedMore);
+}
+
+TEST(LineFramerTest, OversizedLineArrivingWholeStillResynchronizes) {
+  LineFramer framer(8);
+  // Cap blown and newline present in the same Append.
+  const std::string bytes = std::string(50, 'y') + "\nSTATS\n";
+  framer.Append(bytes.data(), bytes.size());
+  std::string line;
+  EXPECT_EQ(framer.Next(&line), Event::kOversized);
+  ASSERT_EQ(framer.Next(&line), Event::kLine);
+  EXPECT_EQ(line, "STATS");
+}
+
+TEST(LineFramerTest, BufferNeverExceedsCapWhileDiscarding) {
+  LineFramer framer(8);
+  LineFramer* f = &framer;
+  std::string chunk(1024, 'z');
+  for (int i = 0; i < 64; ++i) {
+    f->Append(chunk.data(), chunk.size());
+    std::string line;
+    while (f->Next(&line) != Event::kNeedMore) {
+    }
+    EXPECT_LE(f->buffered_bytes(), 8u + 1u);
+  }
+}
+
+TEST(ParseCommandLineTest, VerbsAreCaseInsensitive) {
+  auto cmd = ParseCommandLine("hello Alice");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->verb, Verb::kHello);
+  EXPECT_EQ(cmd->arg, "Alice");
+  EXPECT_EQ(ParseCommandLine("qUiT")->verb, Verb::kQuit);
+  EXPECT_EQ(ParseCommandLine("Stats")->verb, Verb::kStats);
+}
+
+TEST(ParseCommandLineTest, MineKeepsQueryTextVerbatim) {
+  auto cmd = ParseCommandLine("MINE region = Seattle minsupp 0.1");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->verb, Verb::kMine);
+  EXPECT_EQ(cmd->arg, "region = Seattle minsupp 0.1");
+}
+
+TEST(ParseCommandLineTest, UnknownVerbFails) {
+  auto cmd = ParseCommandLine("FROBNICATE now");
+  ASSERT_FALSE(cmd.ok());
+  EXPECT_EQ(cmd.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseCommandLineTest, MissingArgumentsFail) {
+  EXPECT_FALSE(ParseCommandLine("HELLO").ok());
+  EXPECT_FALSE(ParseCommandLine("MINE").ok());
+  EXPECT_FALSE(ParseCommandLine("EXPLAIN").ok());
+  EXPECT_FALSE(ParseCommandLine("").ok());
+}
+
+TEST(ParseCommandLineTest, ExtraArgumentsOnNullaryVerbsFail) {
+  EXPECT_FALSE(ParseCommandLine("STATS please").ok());
+  EXPECT_FALSE(ParseCommandLine("QUIT now").ok());
+}
+
+TEST(ParseCommandLineTest, TenantNameValidation) {
+  EXPECT_TRUE(ParseCommandLine("HELLO tenant_1.a-b").ok());
+  EXPECT_FALSE(ParseCommandLine("HELLO two words").ok());
+  EXPECT_FALSE(ParseCommandLine("HELLO bad/slash").ok());
+  EXPECT_FALSE(ParseCommandLine("HELLO " + std::string(65, 'a')).ok());
+  EXPECT_TRUE(ParseCommandLine("HELLO " + std::string(64, 'a')).ok());
+}
+
+TEST(ResponseTest, OkResponseFramesPayloadLength) {
+  EXPECT_EQ(OkResponse("hello x\n"), "OK 8\nhello x\n");
+  EXPECT_EQ(OkResponse(""), "OK 0\n");
+}
+
+TEST(ResponseTest, ErrResponseFlattensNewlines) {
+  const std::string err = ErrResponse("EXEC", "two\nlines");
+  EXPECT_EQ(err, "ERR EXEC two lines\n");
+}
+
+TEST(ResponseTest, StatusErrCodeMapping) {
+  EXPECT_STREQ(StatusErrCode(Status::ParseError("x")), "PARSE");
+  EXPECT_STREQ(StatusErrCode(Status::DeadlineExceeded("x")), "DEADLINE");
+  EXPECT_STREQ(StatusErrCode(Status::InvalidArgument("x")), "EXEC");
+  EXPECT_STREQ(StatusErrCode(Status::IoError("x")), "EXEC");
+}
+
+}  // namespace
+}  // namespace colarm

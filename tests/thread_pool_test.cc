@@ -120,6 +120,41 @@ TEST(ThreadPoolTest, PoolUsableAfterException) {
   EXPECT_EQ(sum.load(), 4950u);
 }
 
+TEST(ThreadPoolTest, ConcurrentThrowsFromManyShardsPropagateExactlyOnce) {
+  // Every shard throws, and a barrier makes sure several of them are
+  // mid-flight simultaneously: the first-exception-only rethrow contract
+  // must neither strand a shard (hang) nor leak a second exception
+  // (terminate). Run at 2 and 8 threads to cover both a mostly-inline
+  // pool and one where all throwers really are concurrent.
+  for (unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    for (int round = 0; round < 20; ++round) {
+      const size_t shards = threads;  // one shard per thread: all concurrent
+      std::atomic<size_t> armed{0};
+      std::atomic<int> thrown{0};
+      int caught = 0;
+      try {
+        ParallelChunks(&pool, 1000, shards, [&](size_t, size_t, size_t) {
+          armed.fetch_add(1);
+          // Spin until every shard is running so the throws overlap.
+          while (armed.load() < shards) std::this_thread::yield();
+          thrown.fetch_add(1);
+          throw std::runtime_error("shard boom");
+        });
+      } catch (const std::runtime_error&) {
+        ++caught;
+      }
+      EXPECT_EQ(caught, 1);
+      EXPECT_EQ(thrown.load(), static_cast<int>(shards));
+      // The pool must come back clean: a full region with no throws.
+      std::atomic<size_t> sum{0};
+      ParallelFor(&pool, 100, [&](size_t i) { sum.fetch_add(i); });
+      EXPECT_EQ(sum.load(), 4950u);
+    }
+  }
+}
+
 TEST(ThreadPoolTest, NestedParallelRegionsComplete) {
   // Inner regions on a saturated pool must run via caller participation
   // rather than deadlocking on queued helpers.
