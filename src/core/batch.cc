@@ -27,6 +27,10 @@ std::string QueryKey(const LocalizedQuery& query) {
   key.push_back('|');
   key.append(reinterpret_cast<const char*>(&query.minsupp), sizeof(double));
   key.append(reinterpret_cast<const char*>(&query.minconf), sizeof(double));
+  // Constraints change the answer, so same-box queries with different
+  // constraint sets must never be merged as duplicates.
+  key.push_back('|');
+  key.append(query.constraints.CacheKey());
   return key;
 }
 
@@ -126,7 +130,9 @@ Result<BatchResult> BatchExecutor::Execute(
       Rect box = queries[i].ToRect(schema);
       CacheHint hint = cache->Probe(box);
       decisions[i] = engine_->optimizer().Choose(queries[i], &hint);
-      if (memo) txns[i] = cache->BeginTxn(box);
+      if (memo) {
+        txns[i] = cache->BeginTxn(box, queries[i].constraints.CacheKey());
+      }
       if (options.share_subsets) {
         auto [it, inserted] =
             box_of.try_emplace(CanonicalBoxKey(box), boxes.size());

@@ -78,7 +78,9 @@ Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
     const Rect box = query.ToRect(index_->dataset().schema());
     hint = cache->Probe(box);
     before = cache->telemetry();
-    if (cache->options().count_memo) txn = cache->BeginTxn(box);
+    if (cache->options().count_memo) {
+      txn = cache->BeginTxn(box, query.constraints.CacheKey());
+    }
   }
 
   OptimizerDecision decision =

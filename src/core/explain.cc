@@ -15,6 +15,11 @@ std::string FormatDecision(const OptimizerDecision& decision) {
                      est.eliminate / 1e6, est.verify / 1e6, est.mine / 1e6,
                      est.plan == decision.chosen ? "   <== chosen" : "");
   }
+  if (!decision.constraints.empty()) {
+    std::string clauses = decision.constraints;
+    if (clauses.rfind(" AND ", 0) == 0) clauses.erase(0, 5);
+    out += "constraints pushed into plan: " + clauses + "\n";
+  }
   if (decision.cache.tier != CacheTier::kNone) {
     out += StrFormat(
         "select served by session cache: %s of a %.0f-record cached subset",
@@ -78,6 +83,11 @@ std::string FormatQueryResult(const Schema& schema,
       result.stats.total_ms, result.stats.subset_size,
       static_cast<unsigned long long>(result.stats.candidates_search),
       static_cast<unsigned long long>(result.stats.candidates_qualified));
+  if (!result.decision.constraints.empty()) {
+    std::string clauses = result.decision.constraints;
+    if (clauses.rfind(" AND ", 0) == 0) clauses.erase(0, 5);
+    out += "  constraints: " + clauses + "\n";
+  }
   const CacheTelemetry& c = result.cache;
   if (c.hits_exact + c.hits_containment + c.hits_count_memo + c.misses > 0) {
     out += StrFormat(

@@ -6,6 +6,10 @@ OptimizerDecision Optimizer::Choose(const LocalizedQuery& query,
                                     const CacheHint* hint) const {
   OptimizerDecision decision;
   if (hint != nullptr) decision.cache = *hint;
+  if (!query.constraints.Empty()) {
+    decision.constraints =
+        query.constraints.ToString(model_.cardinality().schema());
+  }
   decision.estimates = model_.EstimateAll(query, hint);
   double best = decision.estimates[0].total;
   decision.chosen = decision.estimates[0].plan;

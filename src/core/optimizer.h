@@ -12,6 +12,9 @@ namespace colarm {
 struct OptimizerDecision {
   PlanKind chosen = PlanKind::kSEV;
   std::array<PlanCostEstimate, 6> estimates;
+  /// Constraint provenance: the rendered constraint clauses the estimates
+  /// priced in (selectivity-aware terms); empty for unconstrained queries.
+  std::string constraints;
   /// Cache provenance: how the session cache will serve the SELECT stage
   /// (kNone when no cache is configured or nothing reusable is resident).
   /// Because SELECT is plan-uniform, the hint shifts every estimate's

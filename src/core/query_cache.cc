@@ -20,8 +20,10 @@ size_t SubsetBytes(const FocalSubset& subset) {
          subset.tids.size() * sizeof(Tid);
 }
 
-size_t MemoBytes(const CountMemoEntry& memo) {
-  return kMemoOverhead + memo.superset_counts.size() * sizeof(uint32_t);
+size_t MemoBytes(const std::string& constraint_key,
+                 const CountMemoEntry& memo) {
+  return kMemoOverhead + constraint_key.size() +
+         memo.superset_counts.size() * sizeof(uint32_t);
 }
 
 // Same condition FocalSubset::Materialize scans (and prices) under.
@@ -204,11 +206,12 @@ QueryCache::Lease QueryCache::Acquire(const Rect& box, ExecBackend backend,
 }
 
 std::shared_ptr<const CountMemoEntry> QueryCache::MemoLookup(
-    const std::string& box_key, uint32_t mip_id) const {
+    const std::string& box_key, const std::string& constraint_key,
+    uint32_t mip_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto entry = entries_.find(box_key);
   if (entry == entries_.end()) return nullptr;
-  auto memo = entry->second.memo.find(mip_id);
+  auto memo = entry->second.memo.find({constraint_key, mip_id});
   return memo != entry->second.memo.end() ? memo->second : nullptr;
 }
 
@@ -217,8 +220,10 @@ void QueryCache::NoteMemoServed() {
   ++counters_.hits_count_memo;
 }
 
-std::unique_ptr<CountMemoTxn> QueryCache::BeginTxn(const Rect& box) const {
-  return std::make_unique<CountMemoTxn>(CanonicalBoxKey(box));
+std::unique_ptr<CountMemoTxn> QueryCache::BeginTxn(
+    const Rect& box, std::string constraint_key) const {
+  return std::make_unique<CountMemoTxn>(CanonicalBoxKey(box),
+                                        std::move(constraint_key));
 }
 
 void QueryCache::Commit(CountMemoTxn* txn) {
@@ -229,7 +234,9 @@ void QueryCache::Commit(CountMemoTxn* txn) {
   if (it == entries_.end()) return;  // box evicted mid-flight: drop writes
   Entry& entry = it->second;
   for (auto& [mip_id, write] : txn->writes_) {
-    auto existing = entry.memo.find(mip_id);
+    const std::pair<std::string, uint32_t> memo_key{txn->constraint_key_,
+                                                    mip_id};
+    auto existing = entry.memo.find(memo_key);
     if (existing != entry.memo.end()) {
       // Only an upgrade from full-count-only to a full table is worth a
       // republish; counts themselves are deterministic and identical.
@@ -237,14 +244,15 @@ void QueryCache::Commit(CountMemoTxn* txn) {
           write.superset_counts.empty()) {
         continue;
       }
-      const size_t old_bytes = MemoBytes(*existing->second);
+      const size_t old_bytes =
+          MemoBytes(txn->constraint_key_, *existing->second);
       entry.bytes -= old_bytes;
       counters_.bytes -= old_bytes;
       entry.memo.erase(existing);
     }
     auto published = std::make_shared<const CountMemoEntry>(std::move(write));
-    const size_t new_bytes = MemoBytes(*published);
-    entry.memo.emplace(mip_id, std::move(published));
+    const size_t new_bytes = MemoBytes(txn->constraint_key_, *published);
+    entry.memo.emplace(memo_key, std::move(published));
     entry.bytes += new_bytes;
     counters_.bytes += new_bytes;
   }
@@ -278,8 +286,8 @@ void QueryCache::InsertLocked(std::string key, const Rect& box,
   }
   counters_.bytes += SubsetBytes(*subset);
   entry.bytes = SubsetBytes(*subset);
-  for (const auto& [mip_id, memo] : entry.memo) {
-    entry.bytes += MemoBytes(*memo);
+  for (const auto& [memo_key, memo] : entry.memo) {
+    entry.bytes += MemoBytes(memo_key.first, *memo);
   }
   entry.subset = std::move(subset);
   entry.last_used = ++clock_;

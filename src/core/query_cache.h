@@ -6,6 +6,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cost/cost_model.h"
@@ -67,9 +68,12 @@ struct CountMemoEntry {
 /// executor — so cache state transitions never depend on thread timing.
 class CountMemoTxn {
  public:
-  explicit CountMemoTxn(std::string box_key) : box_key_(std::move(box_key)) {}
+  explicit CountMemoTxn(std::string box_key, std::string constraint_key = {})
+      : box_key_(std::move(box_key)),
+        constraint_key_(std::move(constraint_key)) {}
 
   const std::string& box_key() const { return box_key_; }
+  const std::string& constraint_key() const { return constraint_key_; }
 
   /// Records a full-count-only fact (ELIMINATE, long itemsets). Never
   /// downgrades an already-recorded table.
@@ -83,6 +87,10 @@ class CountMemoTxn {
   friend class QueryCache;
 
   std::string box_key_;
+  /// RuleConstraints::CacheKey() of the owning query ("" = unconstrained).
+  /// Memo facts land under (constraint_key, mip_id), so queries with
+  /// different constraints never serve each other's entries.
+  std::string constraint_key_;
   std::mutex mutex_;
   std::map<uint32_t, CountMemoEntry> writes_;
 };
@@ -160,18 +168,20 @@ class QueryCache {
   Lease Acquire(const Rect& box, ExecBackend backend, ThreadPool* pool,
                 uint64_t* record_checks);
 
-  /// Tier-3 read: the committed memo for (box, MIP), null on a miss.
-  /// Does not count telemetry — callers call NoteMemoServed() when they
-  /// actually serve from the returned entry.
-  std::shared_ptr<const CountMemoEntry> MemoLookup(const std::string& box_key,
-                                                   uint32_t mip_id) const;
+  /// Tier-3 read: the committed memo for (box, constraints, MIP), null on
+  /// a miss. Does not count telemetry — callers call NoteMemoServed() when
+  /// they actually serve from the returned entry.
+  std::shared_ptr<const CountMemoEntry> MemoLookup(
+      const std::string& box_key, const std::string& constraint_key,
+      uint32_t mip_id) const;
 
   /// Telemetry: one ELIMINATE/VERIFY candidate was served from the memo.
   void NoteMemoServed();
 
-  /// Starts a buffered memo transaction for the box (no cache state is
-  /// touched until Commit).
-  std::unique_ptr<CountMemoTxn> BeginTxn(const Rect& box) const;
+  /// Starts a buffered memo transaction for the box under the query's
+  /// constraint key (no cache state is touched until Commit).
+  std::unique_ptr<CountMemoTxn> BeginTxn(const Rect& box,
+                                         std::string constraint_key = {}) const;
 
   /// Merges a transaction's writes into the box's entry (dropped silently
   /// when the box has been evicted), bumps its recency, and evicts over
@@ -188,7 +198,11 @@ class QueryCache {
   struct Entry {
     Rect box;
     std::shared_ptr<const FocalSubset> subset;
-    std::map<uint32_t, std::shared_ptr<const CountMemoEntry>> memo;
+    /// Keyed by (constraint key, MIP id): constrained and unconstrained
+    /// queries on the same box keep disjoint memo namespaces.
+    std::map<std::pair<std::string, uint32_t>,
+             std::shared_ptr<const CountMemoEntry>>
+        memo;
     size_t bytes = 0;
     uint64_t last_used = 0;
   };

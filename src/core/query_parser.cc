@@ -99,6 +99,18 @@ class Parser {
         Advance();
         COLARM_RETURN_IF_ERROR(ExpectKeyword("ATTRIBUTES"));
         COLARM_RETURN_IF_ERROR(ParseItemAttributes(&query));
+      } else if (PeekKeyword("CONTAIN")) {
+        Advance();
+        COLARM_RETURN_IF_ERROR(
+            ParseItemList(&query.constraints.must_contain, "CONTAIN"));
+      } else if (PeekKeyword("EXCLUDE")) {
+        Advance();
+        COLARM_RETURN_IF_ERROR(
+            ParseItemList(&query.constraints.must_exclude, "EXCLUDE"));
+      } else if (PeekKeyword("ANTECEDENT")) {
+        Advance();
+        COLARM_RETURN_IF_ERROR(ExpectKeyword("ATTRIBUTES"));
+        COLARM_RETURN_IF_ERROR(ParseAntecedentAttributes(&query));
       } else if (PeekKeyword("HAVING")) {
         return Status::ParseError("HAVING must not be preceded by AND");
       } else {
@@ -107,8 +119,10 @@ class Parser {
     }
     COLARM_RETURN_IF_ERROR(ExpectKeyword("HAVING"));
     COLARM_RETURN_IF_ERROR(ParseThreshold(&query));
-    COLARM_RETURN_IF_ERROR(ExpectKeyword("AND"));
-    COLARM_RETURN_IF_ERROR(ParseThreshold(&query));
+    while (PeekKeyword("AND")) {
+      Advance();
+      COLARM_RETURN_IF_ERROR(ParseThreshold(&query));
+    }
     if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") Advance();
     if (Peek().kind != TokenKind::kEnd) {
       return Status::ParseError("trailing input after query: '" +
@@ -210,16 +224,91 @@ class Parser {
     return ExpectSymbol('}');
   }
 
-  // minsupport = <number> | minconfidence = <number>
+  // { attr = label [, attr = label]* } — CONTAIN / EXCLUDE item list.
+  Status ParseItemList(Itemset* out, const char* clause) {
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('{'));
+    while (true) {
+      if (Peek().kind != TokenKind::kWord &&
+          Peek().kind != TokenKind::kString) {
+        return Status::ParseError(
+            StrFormat("expected attribute name in %s list, got '%s'", clause,
+                      Peek().text.c_str()));
+      }
+      Result<AttrId> attr = schema_.AttrIdByName(Peek().text);
+      if (!attr.ok()) return attr.status();
+      Advance();
+      COLARM_RETURN_IF_ERROR(ExpectSymbol('='));
+      if (Peek().kind != TokenKind::kWord &&
+          Peek().kind != TokenKind::kString) {
+        return Status::ParseError(
+            StrFormat("expected value label in %s list, got '%s'", clause,
+                      Peek().text.c_str()));
+      }
+      Result<ValueId> value = schema_.ValueIdByLabel(*attr, Peek().text);
+      if (!value.ok()) return value.status();
+      out->push_back(schema_.ItemOf(*attr, *value));
+      Advance();
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('}'));
+    // Canonical form Validate expects; repeated items are set-semantics.
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+    return Status::OK();
+  }
+
+  // { attr [, attr]* } pinned to the antecedent side.
+  Status ParseAntecedentAttributes(LocalizedQuery* query) {
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('{'));
+    std::vector<AttrId>& out = query->constraints.antecedent_only;
+    while (true) {
+      if (Peek().kind != TokenKind::kWord &&
+          Peek().kind != TokenKind::kString) {
+        return Status::ParseError(
+            "expected attribute name in ANTECEDENT ATTRIBUTES, got '" +
+            Peek().text + "'");
+      }
+      Result<AttrId> attr = schema_.AttrIdByName(Peek().text);
+      if (!attr.ok()) return attr.status();
+      out.push_back(*attr);
+      Advance();
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    COLARM_RETURN_IF_ERROR(ExpectSymbol('}'));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return Status::OK();
+  }
+
+  // minsupport/minconfidence (required) or a measure floor: minlift,
+  // mincosine, minkulczynski.
   Status ParseThreshold(LocalizedQuery* query) {
-    bool is_supp;
+    double* slot = nullptr;
     if (PeekKeyword("minsupport") || PeekKeyword("minsupp")) {
-      is_supp = true;
+      slot = &query->minsupp;
+      saw_minsupp_ = true;
     } else if (PeekKeyword("minconfidence") || PeekKeyword("minconf")) {
-      is_supp = false;
+      slot = &query->minconf;
+      saw_minconf_ = true;
+    } else if (PeekKeyword("minlift")) {
+      slot = &query->constraints.min_lift;
+    } else if (PeekKeyword("mincosine")) {
+      slot = &query->constraints.min_cosine;
+    } else if (PeekKeyword("minkulczynski")) {
+      slot = &query->constraints.min_kulczynski;
     } else {
-      return Status::ParseError("expected minsupport or minconfidence, got '" +
-                                Peek().text + "'");
+      return Status::ParseError(
+          "expected a HAVING threshold (minsupport, minconfidence, minlift, "
+          "mincosine, minkulczynski), got '" +
+          Peek().text + "'");
     }
     Advance();
     COLARM_RETURN_IF_ERROR(ExpectSymbol('='));
@@ -235,13 +324,7 @@ class Parser {
       return Status::ParseError("malformed threshold '" + text + "'");
     }
     if (percent) value /= 100.0;
-    if (is_supp) {
-      query->minsupp = value;
-      saw_minsupp_ = true;
-    } else {
-      query->minconf = value;
-      saw_minconf_ = true;
-    }
+    *slot = value;
     return Status::OK();
   }
 

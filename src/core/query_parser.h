@@ -13,13 +13,20 @@ namespace colarm {
 ///   [FROM <dataset-name>]
 ///   WHERE RANGE Location = {Seattle} AND Gender = {F}
 ///   [AND ITEM ATTRIBUTES {Age, Salary}]
-///   HAVING minsupport = 0.75 AND minconfidence = 90%;
+///   [AND CONTAIN {Title = "Sw Engg"}]
+///   [AND EXCLUDE {Salary = 30K-60K}]
+///   [AND ANTECEDENT ATTRIBUTES {Age}]
+///   HAVING minsupport = 0.75 AND minconfidence = 90%
+///   [AND minlift = 1.2] [AND mincosine = 0.4] [AND minkulczynski = 60%];
 ///
 /// Value lists must form a contiguous run of the attribute's value ids
 /// (the MIP cell-granularity assumption); thresholds accept fractions
 /// ("0.75") or percentages ("75%"). Keywords are case-insensitive; value
 /// labels are case-sensitive and may be double-quoted when they contain
-/// spaces or punctuation.
+/// spaces or punctuation. The constraint clauses fill
+/// LocalizedQuery::constraints (mining/constraints.h) and are pushed into
+/// execution, not post-filtered; minsupport and minconfidence stay
+/// mandatory while the measure floors are optional.
 Result<LocalizedQuery> ParseQuery(const Schema& schema, std::string_view text);
 
 }  // namespace colarm

@@ -26,6 +26,8 @@ class CardinalityEstimator {
   /// attributes) — the D^Q_avg terms of the cost formulas.
   std::vector<double> QueryExtents(const LocalizedQuery& query) const;
 
+  const Schema& schema() const { return *schema_; }
+
  private:
   const Schema* schema_;
   const DatasetHistograms* histograms_;

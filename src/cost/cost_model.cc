@@ -98,7 +98,7 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind, const LocalizedQuery& query,
   PlanCostEstimate est;
   est.plan = kind;
 
-  const std::vector<double> extQ = cardinality_->QueryExtents(query);
+  std::vector<double> extQ = cardinality_->QueryExtents(query);
   const double subset = std::max(1.0, cardinality_->SubsetSize(query));
   const auto min_count =
       MinCount(query.minsupp, static_cast<uint32_t>(subset));
@@ -109,10 +109,43 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind, const LocalizedQuery& query,
   // support distribution.
   const double ss_pass = stats_->FractionWithCountAtLeast(min_count);
   const double qualified_frac = QualifiedFraction(query);
-  const double attr_frac = ItemAttrFraction(query);
-  const double rules_per = RulesPerItemset();
+  double attr_frac = ItemAttrFraction(query);
+  double rules_per = RulesPerItemset();
   const double avg_len = std::max(1.0, stats_->avg_itemset_length);
   const double m = stats_->num_records;
+
+  // Constraint selectivity. Pushdown changes where work stops, and these
+  // terms let the optimizer see that before running anything: CONTAIN pins
+  // the search box to one cell per constrained attribute (the execution
+  // narrows the R-tree descent the same way), EXCLUDE thins the surviving
+  // candidate pool like the attribute filter does, and ANTECEDENT
+  // ATTRIBUTES halves the viable antecedent/consequent partitions per item
+  // expected to be pinned. All no-ops for unconstrained queries.
+  const RuleConstraints& cons = query.constraints;
+  if (!cons.Empty()) {
+    const Schema& schema = cardinality_->schema();
+    for (ItemId item : cons.must_contain) {
+      const AttrId a = schema.AttrOfItem(item);
+      const double domain =
+          std::max<double>(1.0, schema.attribute(a).domain_size());
+      if (a < extQ.size()) extQ[a] = std::min(extQ[a], 1.0 / domain);
+    }
+    if (!cons.must_exclude.empty()) {
+      // A MIP avoids one excluded item with probability 1 - avg_len/|items|
+      // under the uniform-item model; survivors multiply into the same
+      // per-candidate filter term the attribute mask uses.
+      const double num_items = std::max<double>(1.0, schema.num_items());
+      const double per_item = std::min(1.0, avg_len / num_items);
+      attr_frac *= std::pow(1.0 - per_item,
+                            static_cast<double>(cons.must_exclude.size()));
+    }
+    if (!cons.antecedent_only.empty() && stats_->num_attributes > 0) {
+      const double pinned_est =
+          avg_len * static_cast<double>(cons.antecedent_only.size()) /
+          static_cast<double>(stats_->num_attributes);
+      rules_per *= std::pow(2.0, -pinned_est);
+    }
+  }
 
   // Words per bitmap — the unit every kBitmap kernel is priced in.
   const double words =

@@ -85,6 +85,7 @@ class CostModel {
       const LocalizedQuery& query, const CacheHint* hint = nullptr) const;
 
   const CostConstants& constants() const { return constants_; }
+  const CardinalityEstimator& cardinality() const { return *cardinality_; }
 
  private:
   /// Expected R-tree node accesses (Theodoridis & Sellis / Lemma 4.1

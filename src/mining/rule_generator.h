@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "mining/constraints.h"
 #include "mining/local_counter.h"
 #include "mining/rule.h"
 
@@ -22,6 +23,23 @@ struct RuleGenStats {
   uint64_t itemsets_skipped = 0;
 };
 
+/// Per-itemset constraint pushdown for the rule enumeration: antecedent
+/// partitions that leave a pinned item in the consequent are skipped before
+/// they are counted (the ANTECEDENT-ATTRIBUTES prune of the 2^L lattice),
+/// and measure floors reject rules before materialization. A
+/// default-constructed filter leaves enumeration byte-identical.
+struct RuleGenFilter {
+  /// Bits (by itemset position) of items that must stay in the antecedent.
+  uint32_t pinned_mask = 0;
+  double min_lift = 0.0;
+  double min_cosine = 0.0;
+  double min_kulczynski = 0.0;
+
+  bool HasMeasures() const {
+    return min_lift > 0.0 || min_cosine > 0.0 || min_kulczynski > 0.0;
+  }
+};
+
 /// Emits into `out` every rule X => Y with X ∪ Y = counter.itemset(),
 /// X, Y non-empty, and local confidence >= minconf. The itemset itself is
 /// assumed to already satisfy the local minsupport check (the ELIMINATE /
@@ -33,7 +51,8 @@ struct RuleGenStats {
 /// contract and identical counts, so the emitted rules are byte-identical.
 template <typename Counter>
 void GenerateRulesForItemset(const Counter& counter, double minconf,
-                             const RuleGenOptions& options, RuleSet* out,
+                             const RuleGenOptions& options,
+                             const RuleGenFilter& filter, RuleSet* out,
                              RuleGenStats* stats) {
   const Itemset& itemset = counter.itemset();
   const size_t len = itemset.size();
@@ -45,12 +64,16 @@ void GenerateRulesForItemset(const Counter& counter, double minconf,
   const uint32_t itemset_count = counter.CountFull();
   const uint32_t base = counter.base_size();
   const uint32_t full_mask = (1u << len) - 1;
+  const bool measures = filter.HasMeasures();
 
   Itemset antecedent;
   Itemset consequent;
   antecedent.reserve(len);
   consequent.reserve(len);
   for (uint32_t mask = 1; mask < full_mask; ++mask) {
+    // Pinned items belong in the antecedent: partitions that put one in the
+    // consequent are pruned before they cost a count or a counter tick.
+    if ((mask & filter.pinned_mask) != filter.pinned_mask) continue;
     ++stats->rules_considered;
     antecedent.clear();
     consequent.clear();
@@ -66,10 +89,34 @@ void GenerateRulesForItemset(const Counter& counter, double minconf,
     const double confidence =
         static_cast<double>(itemset_count) / antecedent_count;
     if (confidence + 1e-12 < minconf) continue;
+    if (measures) {
+      // Same integer the post-filter derives by scanning the focal subset,
+      // so the measure doubles (and thus keep/drop) are bit-identical.
+      const RuleCounts counts{itemset_count, antecedent_count,
+                              counter.CountOf(consequent), base};
+      if ((filter.min_lift > 0.0 &&
+           Lift(counts) + 1e-12 < filter.min_lift) ||
+          (filter.min_cosine > 0.0 &&
+           Cosine(counts) + 1e-12 < filter.min_cosine) ||
+          (filter.min_kulczynski > 0.0 &&
+           Kulczynski(counts) + 1e-12 < filter.min_kulczynski)) {
+        continue;
+      }
+    }
     out->rules.push_back(Rule{antecedent, consequent, itemset_count,
                               antecedent_count, base});
     ++stats->rules_emitted;
   }
+}
+
+/// Unconstrained overload (the pre-constraint signature): kept so direct
+/// callers and tests enumerate without building a filter.
+template <typename Counter>
+void GenerateRulesForItemset(const Counter& counter, double minconf,
+                             const RuleGenOptions& options, RuleSet* out,
+                             RuleGenStats* stats) {
+  GenerateRulesForItemset(counter, minconf, options, RuleGenFilter{}, out,
+                          stats);
 }
 
 }  // namespace colarm

@@ -28,4 +28,13 @@ VerticalView::VerticalView(const Dataset& dataset, std::span<const Tid> subset)
   }
 }
 
+void VerticalView::DropItems(std::span<const ItemId> items) {
+  for (ItemId item : items) {
+    if (item < tidsets_.size()) {
+      tidsets_[item].clear();
+      tidsets_[item].shrink_to_fit();
+    }
+  }
+}
+
 }  // namespace colarm

@@ -56,6 +56,7 @@ PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
   }
   local_min_count =
       subset.size() == 0 ? 1 : MinCount(query.minsupp, subset.size());
+  InitConstraints();
 }
 
 PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
@@ -70,6 +71,21 @@ PlanContext::PlanContext(const MipIndex& index, const LocalizedQuery& query,
   }
   local_min_count =
       subset.size() == 0 ? 1 : MinCount(query.minsupp, subset.size());
+  InitConstraints();
+}
+
+void PlanContext::InitConstraints() {
+  search_box = subset.box;
+  const RuleConstraints& constraints = query.constraints;
+  if (constraints.Empty()) return;
+  const Schema& schema = index.dataset().schema();
+  item_constrained = constraints.HasItemConstraints();
+  constraints_precluded = query.ConstraintsPrecludeRules(schema);
+  if (constraints_precluded) return;
+  for (ItemId item : constraints.must_contain) {
+    const ValueId value = schema.ValueOfItem(item);
+    search_box.SetInterval(schema.AttrOfItem(item), value, value);
+  }
 }
 
 bool PlanContext::MipAttrsAllowed(uint32_t mip_id) const {
@@ -78,6 +94,36 @@ bool PlanContext::MipAttrsAllowed(uint32_t mip_id) const {
     if (!item_attr_mask[schema.AttrOfItem(item)]) return false;
   }
   return true;
+}
+
+bool PlanContext::MipConstraintAllowed(uint32_t mip_id) const {
+  if (!MipAttrsAllowed(mip_id)) return false;
+  if (!item_constrained) return true;
+  return ItemsetSatisfiesConstraints(index.mip(mip_id).items,
+                                     query.constraints);
+}
+
+RuleGenFilter PlanContext::FilterForItemset(const Itemset& items) const {
+  RuleGenFilter filter;
+  const RuleConstraints& constraints = query.constraints;
+  if (constraints.Empty()) return filter;
+  filter.min_lift = constraints.min_lift;
+  filter.min_cosine = constraints.min_cosine;
+  filter.min_kulczynski = constraints.min_kulczynski;
+  if (!constraints.antecedent_only.empty()) {
+    const Schema& schema = index.dataset().schema();
+    // Positions past 31 cannot occur in enumeration (the generator skips
+    // such itemsets), so the mask safely stops there.
+    const size_t len = std::min<size_t>(items.size(), 31);
+    for (size_t i = 0; i < len; ++i) {
+      if (std::binary_search(constraints.antecedent_only.begin(),
+                             constraints.antecedent_only.end(),
+                             schema.AttrOfItem(items[i]))) {
+        filter.pinned_mask |= 1u << i;
+      }
+    }
+  }
+  return filter;
 }
 
 namespace {
@@ -95,11 +141,14 @@ CandidateSet RunSearch(PlanContext* ctx, bool supported) {
   auto visitor = [&out](const RTreeEntry& entry, bool contained) {
     (contained ? out.contained : out.overlapped).push_back(entry.id);
   };
+  // The CONTAIN-narrowed search box: contained-vs-overlapped stays sound
+  // because containment in the narrowed box implies containment in the
+  // focal box (Lemma 4.5 still applies).
   if (supported) {
-    ctx->index.rtree().SearchSupported(ctx->subset.box, ctx->local_min_count,
+    ctx->index.rtree().SearchSupported(ctx->search_box, ctx->local_min_count,
                                        visitor, &ctx->rtree_stats);
   } else {
-    ctx->index.rtree().Search(ctx->subset.box, visitor, &ctx->rtree_stats);
+    ctx->index.rtree().Search(ctx->search_box, visitor, &ctx->rtree_stats);
   }
   // Deterministic candidate order regardless of tree layout.
   std::sort(out.contained.begin(), out.contained.end());
@@ -141,11 +190,12 @@ void EliminateRange(PlanContext* ctx, std::span<const uint32_t> candidates,
   }
   for (uint32_t id : candidates) {
     ThrowIfCancelled(ctx->cancel);
-    if (!ctx->MipAttrsAllowed(id)) continue;
+    if (!ctx->MipConstraintAllowed(id)) continue;
     const Mip& mip = ctx->index.mip(id);
     uint32_t count = 0;
     if (memo) {
-      auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(), id);
+      auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(),
+                                        ctx->memo_txn->constraint_key(), id);
       if (hit != nullptr) {
         // The memoized count replaces the scan; the semantic price (one
         // pass over the focal subset) is charged as if it ran, keeping the
@@ -206,7 +256,7 @@ std::vector<QualifiedItemset> QualifyContained(
     PlanContext* ctx, std::span<const uint32_t> contained) {
   std::vector<QualifiedItemset> qualified;
   for (uint32_t id : contained) {
-    if (!ctx->MipAttrsAllowed(id)) continue;
+    if (!ctx->MipConstraintAllowed(id)) continue;
     const uint32_t count = ctx->index.mip(id).global_count;
     // Lemma 4.5: containment makes the local count equal the global one.
     // SUPPORTED-SEARCH already pruned counts below the threshold, but a
@@ -260,13 +310,14 @@ void RecordCounter(PlanContext* ctx, uint32_t mip_id, const Counter& counter) {
 bool TryMemoVerify(PlanContext* ctx, uint32_t mip_id, const Itemset& items,
                    RuleSet* out, RuleGenStats* rule_stats,
                    uint64_t* record_checks) {
-  auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(), mip_id);
+  auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(),
+                                    ctx->memo_txn->constraint_key(), mip_id);
   if (hit == nullptr || hit->superset_counts.empty()) return false;
   ctx->cache->NoteMemoServed();
   MemoSubsetCounter counter(items, std::move(hit),
                             static_cast<uint32_t>(ctx->subset.tids.size()));
-  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
-                          rule_stats);
+  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen,
+                          ctx->FilterForItemset(items), out, rule_stats);
   *record_checks += counter.record_checks();
   return true;
 }
@@ -276,7 +327,8 @@ template <typename Counter>
 void VerifyColdOne(PlanContext* ctx, uint32_t mip_id, const Counter& counter,
                    bool memo, RuleSet* out, RuleGenStats* rule_stats,
                    uint64_t* record_checks) {
-  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen,
+                          ctx->FilterForItemset(counter.itemset()), out,
                           rule_stats);
   *record_checks += counter.record_checks();
   if (memo) RecordCounter(ctx, mip_id, counter);
@@ -315,7 +367,8 @@ void SupportedVerifyOne(PlanContext* ctx, const Counter& counter, RuleSet* out,
                         RuleGenStats* rule_stats, uint64_t* record_checks) {
   *record_checks += counter.record_checks();
   if (counter.CountFull() < ctx->local_min_count) return;
-  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen, out,
+  GenerateRulesForItemset(counter, ctx->query.minconf, ctx->rulegen,
+                          ctx->FilterForItemset(counter.itemset()), out,
                           rule_stats);
 }
 
@@ -326,10 +379,11 @@ void SupportedVerifyRange(PlanContext* ctx,
   const bool memo = MemoActive(*ctx);
   for (uint32_t id : candidates) {
     ThrowIfCancelled(ctx->cancel);
-    if (!ctx->MipAttrsAllowed(id)) continue;
+    if (!ctx->MipConstraintAllowed(id)) continue;
     const Itemset& items = ctx->index.mip(id).items;
     if (memo) {
-      auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(), id);
+      auto hit = ctx->cache->MemoLookup(ctx->memo_txn->box_key(),
+                                        ctx->memo_txn->constraint_key(), id);
       if (hit != nullptr && !hit->superset_counts.empty()) {
         ctx->cache->NoteMemoServed();
         MemoSubsetCounter counter(
@@ -418,16 +472,17 @@ namespace {
 // ones that are prestored CFIs (exact trie lookups). Because the frequent
 // list is complete above the threshold, the qualified set and its counts
 // are identical to the CHARM path's.
-std::vector<QualifiedItemset> ArmMineFpGrowth(PlanContext* ctx) {
+std::vector<QualifiedItemset> ArmMineFpGrowth(PlanContext* ctx,
+                                              std::span<const Tid> mine_tids) {
   std::vector<QualifiedItemset> qualified;
-  std::vector<FrequentItemset> frequent = MineFpGrowth(
-      ctx->index.dataset(), ctx->subset.tids, ctx->local_min_count);
+  std::vector<FrequentItemset> frequent =
+      MineFpGrowth(ctx->index.dataset(), mine_tids, ctx->local_min_count);
   ctx->local_cfis = frequent.size();
   for (const FrequentItemset& f : frequent) {
     ThrowIfCancelled(ctx->cancel);
     auto id = ctx->index.ittree().Find(f.items);
     if (!id.has_value()) continue;
-    if (!ctx->MipAttrsAllowed(*id)) continue;
+    if (!ctx->MipConstraintAllowed(*id)) continue;
     qualified.push_back({*id, f.count});
   }
   std::sort(qualified.begin(), qualified.end(),
@@ -442,12 +497,38 @@ std::vector<QualifiedItemset> ArmMineFpGrowth(PlanContext* ctx) {
 std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
   std::vector<QualifiedItemset> qualified;
   if (ctx->subset.tids.empty()) return qualified;
-  if (ctx->arm_miner == ArmMinerKind::kFpGrowth) {
-    return ArmMineFpGrowth(ctx);
+
+  // CONTAIN seeding: qualifying itemsets are supersets of must_contain, so
+  // their supports within DQ equal their supports within the records of DQ
+  // holding every CONTAIN item — mining that (often much smaller) seed
+  // subset yields identical counts for every constraint-allowed MIP. The
+  // restriction pass charges one focal-subset scan on either backend.
+  std::span<const Tid> mine_tids = ctx->subset.tids;
+  std::vector<Tid> seeded;
+  if (ctx->item_constrained && !ctx->query.constraints.must_contain.empty()) {
+    const Dataset& dataset = ctx->index.dataset();
+    for (Tid t : ctx->subset.tids) {
+      if (dataset.ContainsAll(t, ctx->query.constraints.must_contain)) {
+        seeded.push_back(t);
+      }
+    }
+    ctx->record_checks += ctx->subset.tids.size();
+    if (seeded.empty()) return qualified;
+    mine_tids = seeded;
   }
 
-  // Traditional two-step mining over the extracted focal subset.
-  VerticalView local_view(ctx->index.dataset(), ctx->subset.tids);
+  if (ctx->arm_miner == ArmMinerKind::kFpGrowth) {
+    return ArmMineFpGrowth(ctx, mine_tids);
+  }
+
+  // Traditional two-step mining over the extracted focal subset, with
+  // EXCLUDE items dropped from the vertical view: they cannot appear in
+  // any qualifying itemset, and projection preserves the support of every
+  // itemset that avoids them, so CHARM skips their lattice branches.
+  VerticalView local_view(ctx->index.dataset(), mine_tids);
+  if (ctx->item_constrained && !ctx->query.constraints.must_exclude.empty()) {
+    local_view.DropItems(ctx->query.constraints.must_exclude);
+  }
   ITTree local_tree;
   std::vector<bool> seen(ctx->index.num_mips(), false);
   std::vector<uint32_t> hits;
@@ -471,7 +552,7 @@ std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
 
   std::sort(hits.begin(), hits.end());
   for (uint32_t id : hits) {
-    if (!ctx->MipAttrsAllowed(id)) continue;
+    if (!ctx->MipConstraintAllowed(id)) continue;
     // Local support of a stored CFI = support of its local closure.
     uint32_t count = local_tree.MaxSupersetCount(ctx->index.mip(id).items);
     qualified.push_back({id, count});

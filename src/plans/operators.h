@@ -97,6 +97,18 @@ struct PlanContext {
   FocalSubset subset;
   uint32_t local_min_count = 0;
 
+  /// Constraint pushdown state, derived once from query.constraints:
+  /// `search_box` is the focal box with each CONTAIN item's attribute
+  /// narrowed to its value (sound R-tree descent pruning — a MIP holding
+  /// item (a, v) has a tight bbox pinned to [v, v] on a, so every
+  /// CONTAIN-satisfying MIP survives the narrowed search);
+  /// `item_constrained` gates the per-MIP CONTAIN/EXCLUDE filter; and
+  /// `constraints_precluded` marks queries whose constraints guarantee an
+  /// empty answer, which the plan driver short-circuits.
+  Rect search_box;
+  bool item_constrained = false;
+  bool constraints_precluded = false;
+
   // Effort counters (accumulated across operators).
   uint64_t record_checks = 0;
   RTree::SearchStats rtree_stats;
@@ -122,6 +134,22 @@ struct PlanContext {
 
   /// True iff every item of the MIP lies on an allowed item attribute.
   bool MipAttrsAllowed(uint32_t mip_id) const;
+
+  /// MipAttrsAllowed plus the CONTAIN/EXCLUDE item constraints. Exact (not
+  /// merely a pruning bound) because a rule's itemset is always the full
+  /// MIP itemset, so ELIMINATE / VERIFY skip disallowed candidates before
+  /// any record scan.
+  bool MipConstraintAllowed(uint32_t mip_id) const;
+
+  /// Rule-generation pushdown for one itemset: the positions of
+  /// ANTECEDENT-ATTRIBUTES items (pinned to the antecedent side) plus the
+  /// query's measure floors. Default-empty when the query is unconstrained.
+  RuleGenFilter FilterForItemset(const Itemset& items) const;
+
+ private:
+  /// Shared tail of both constructors: derives the constraint state above
+  /// (requires `subset` to be materialized first).
+  void InitConstraints();
 };
 
 /// SEARCH: R-tree range search with the focal box (coarse filter).

@@ -107,7 +107,10 @@ Result<PlanResult> ExecutePlan(PlanKind kind, const MipIndex& index,
   // ParallelChunks when the poll fires inside a shard); the catch below
   // converts the unwind into a Status so callers never see an exception.
   try {
-  if (ctx.subset.size() > 0) {
+  // Constraints that preclude every rule (contradictory CONTAIN/EXCLUDE, a
+  // CONTAIN item outside the vocabulary or the focal box) short-circuit
+  // the whole pipeline: the answer is empty before any search or scan.
+  if (ctx.subset.size() > 0 && !ctx.constraints_precluded) {
     switch (kind) {
       case PlanKind::kSEV: {
         stage.Restart();

@@ -62,7 +62,29 @@ Status LocalizedQuery::Validate(const Schema& schema) const {
   if (minconf <= 0.0 || minconf > 1.0) {
     return Status::InvalidArgument("minconfidence must be in (0, 1]");
   }
-  return Status::OK();
+  return constraints.Validate(schema);
+}
+
+bool LocalizedQuery::ConstraintsPrecludeRules(const Schema& schema) const {
+  if (constraints.must_contain.empty()) return false;
+  if (!ItemsetDisjoint(constraints.must_contain, constraints.must_exclude)) {
+    return true;
+  }
+  const std::vector<bool> vocabulary = ItemAttrMask(schema);
+  const Rect box = ToRect(schema);
+  AttrId prev_attr = 0;
+  bool have_prev = false;
+  for (ItemId item : constraints.must_contain) {
+    const AttrId attr = schema.AttrOfItem(item);
+    // Two required items on one attribute: no record holds both values.
+    if (have_prev && attr == prev_attr) return true;
+    prev_attr = attr;
+    have_prev = true;
+    if (!vocabulary[attr]) return true;
+    const ValueId value = schema.ValueOfItem(item);
+    if (value < box.lo(attr) || value > box.hi(attr)) return true;
+  }
+  return false;
 }
 
 std::string LocalizedQuery::ToString(const Schema& schema) const {
@@ -85,6 +107,7 @@ std::string LocalizedQuery::ToString(const Schema& schema) const {
   }
   out += StrFormat(" HAVING minsupport=%.2f AND minconfidence=%.2f", minsupp,
                    minconf);
+  out += constraints.ToString(schema);
   return out;
 }
 

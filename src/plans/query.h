@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "data/schema.h"
+#include "mining/constraints.h"
 #include "rtree/rect.h"
 
 namespace colarm {
@@ -24,12 +25,16 @@ struct RangeSelection {
 ///   REPORT LOCALIZED ASSOCIATION RULES FROM D
 ///   WHERE RANGE  <ranges>                 -- defines the focal subset DQ
 ///   [AND ITEM ATTRIBUTES <item_attrs>]    -- rule vocabulary (default: all)
-///   HAVING minsupport = ... AND minconfidence = ...;
+///   [AND CONTAIN <items>] [AND EXCLUDE <items>]
+///   [AND ANTECEDENT ATTRIBUTES <attrs>]   -- rule constraints (optional)
+///   HAVING minsupport = ... AND minconfidence = ...
+///   [AND minlift = ...] [AND mincosine = ...] [AND minkulczynski = ...];
 struct LocalizedQuery {
   std::vector<RangeSelection> ranges;  // unconstrained attrs span their domain
   std::vector<AttrId> item_attrs;      // empty = all attributes
   double minsupp = 0.5;
   double minconf = 0.5;
+  RuleConstraints constraints;         // default-empty: unconstrained
 
   /// The focal-subset box: query intervals on constrained attributes, full
   /// domain elsewhere.
@@ -39,8 +44,15 @@ struct LocalizedQuery {
   std::vector<bool> ItemAttrMask(const Schema& schema) const;
 
   /// Rejects duplicate/out-of-range attributes, inverted or out-of-domain
-  /// intervals, and thresholds outside (0, 1].
+  /// intervals, thresholds outside (0, 1], and malformed constraints.
   Status Validate(const Schema& schema) const;
+
+  /// True iff the constraints guarantee an empty rule set regardless of the
+  /// data: contradictory CONTAIN/EXCLUDE, two CONTAIN items on one
+  /// attribute, a CONTAIN item outside the item vocabulary, or a CONTAIN
+  /// item whose value the focal box excludes. Execution short-circuits
+  /// these instead of scanning.
+  bool ConstraintsPrecludeRules(const Schema& schema) const;
 
   std::string ToString(const Schema& schema) const;
 };

@@ -139,6 +139,11 @@ std::string RenderMineResult(const Schema& schema, const QueryResult& result) {
       "plan %s rules %zu subset %u cache %s\n",
       PlanKindName(result.plan_used), result.rules.rules.size(),
       result.stats.subset_size, CacheTierName(result.decision.cache.tier));
+  if (!result.decision.constraints.empty()) {
+    std::string clauses = result.decision.constraints;
+    if (clauses.rfind(" AND ", 0) == 0) clauses.erase(0, 5);
+    out += "constraints " + clauses + "\n";
+  }
   out += FormatRules(schema, result.rules, /*limit=*/0);
   return out;
 }

@@ -100,7 +100,69 @@ double GenThreshold(Rng* rng, uint32_t total) {
   }
 }
 
-LocalizedQuery GenQuery(Rng* rng, const Dataset& dataset) {
+// Sorted-unique canonical form Validate requires.
+template <typename T>
+void Canonicalize(std::vector<T>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+// Draws 1-2 items, biased toward items of a real record (satisfiable
+// constraints) but often fully random — contradictory CONTAIN/EXCLUDE
+// pairs, items outside the focal box, and pinned vocabularies all need
+// fuzzing too.
+Itemset GenItemList(Rng* rng, const Dataset& dataset) {
+  const Schema& schema = dataset.schema();
+  const uint32_t n_attrs = schema.num_attributes();
+  Itemset items;
+  const uint32_t count = 1 + static_cast<uint32_t>(rng->Uniform(2));
+  const bool from_record =
+      dataset.num_records() > 0 && rng->Bernoulli(0.5);
+  const Tid t = from_record
+                    ? static_cast<Tid>(rng->Uniform(dataset.num_records()))
+                    : 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const AttrId a = static_cast<AttrId>(rng->Uniform(n_attrs));
+    const ValueId v =
+        from_record ? dataset.Value(t, a)
+                    : static_cast<ValueId>(
+                          rng->Uniform(schema.attribute(a).domain_size()));
+    items.push_back(schema.ItemOf(a, v));
+  }
+  Canonicalize(&items);
+  return items;
+}
+
+void GenConstraints(Rng* rng, const Dataset& dataset, LocalizedQuery* query) {
+  const uint32_t n_attrs = dataset.schema().num_attributes();
+  RuleConstraints& cons = query->constraints;
+  if (rng->Bernoulli(0.5)) cons.must_contain = GenItemList(rng, dataset);
+  if (rng->Bernoulli(0.4)) cons.must_exclude = GenItemList(rng, dataset);
+  if (rng->Bernoulli(0.3)) {
+    cons.antecedent_only.push_back(static_cast<AttrId>(rng->Uniform(n_attrs)));
+    if (rng->Bernoulli(0.3)) {
+      cons.antecedent_only.push_back(
+          static_cast<AttrId>(rng->Uniform(n_attrs)));
+    }
+    Canonicalize(&cons.antecedent_only);
+  }
+  if (rng->Bernoulli(0.4)) {
+    switch (rng->Uniform(3)) {
+      case 0:  // lift floors straddle the independence point 1.0
+        cons.min_lift = 0.5 + rng->NextDouble() * 1.5;
+        break;
+      case 1:
+        cons.min_cosine = GenThreshold(rng, 0);
+        break;
+      default:
+        cons.min_kulczynski = GenThreshold(rng, 0);
+        break;
+    }
+  }
+}
+
+LocalizedQuery GenQuery(Rng* rng, const Dataset& dataset,
+                        const FuzzLimits& limits) {
   const Schema& schema = dataset.schema();
   const uint32_t n_attrs = schema.num_attributes();
   LocalizedQuery query;
@@ -152,6 +214,9 @@ LocalizedQuery GenQuery(Rng* rng, const Dataset& dataset) {
 
   query.minsupp = GenThreshold(rng, dataset.num_records());
   query.minconf = GenThreshold(rng, 0);
+  if (limits.constraints && rng->Bernoulli(0.5)) {
+    GenConstraints(rng, dataset, &query);
+  }
   return query;
 }
 
@@ -169,7 +234,7 @@ FuzzCase GenerateFuzzCase(uint64_t seed, const FuzzLimits& limits) {
           ? GenThreshold(&rng, fuzz_case.dataset.num_records())
           : 0.2 + rng.NextDouble() * 0.5;
   for (uint32_t q = 0; q < limits.queries_per_case; ++q) {
-    fuzz_case.queries.push_back(GenQuery(&rng, fuzz_case.dataset));
+    fuzz_case.queries.push_back(GenQuery(&rng, fuzz_case.dataset, limits));
   }
   return fuzz_case;
 }

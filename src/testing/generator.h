@@ -21,6 +21,10 @@ struct FuzzLimits {
   uint32_t min_domain = 2;
   uint32_t max_domain = 5;
   uint32_t queries_per_case = 4;
+  /// Draw item constraints / measure floors on ~half the queries. Off
+  /// reproduces the pre-constraint query stream shape (different RNG
+  /// consumption, so cases differ from constraints=true runs).
+  bool constraints = true;
 };
 
 /// One self-contained differential-testing case: a dataset, the offline

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "mining/constraints.h"
 #include "mip/serialize.h"
 #include "plans/plans.h"
 
@@ -352,6 +353,40 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
           fail("serialize-roundtrip", qi,
                "bitmap on reloaded index: " +
                    DiffRuleSets(schema, bitmap->rules, baseline->rules));
+        }
+      }
+    }
+
+    // Differential constraint equivalence: the constrained baseline must
+    // equal the post-filtered unconstrained twin. A single scalar S-E-V
+    // comparison covers the full matrix because every invariant above
+    // already checks each plan / backend / thread / SIMD / cache variant
+    // against this same constrained baseline.
+    if (options.check_constraints && !query.constraints.Empty()) {
+      LocalizedQuery twin = query;
+      twin.constraints = RuleConstraints{};
+      auto unconstrained = run_plan(*index, PlanKind::kSEV, twin, nullptr);
+      if (!unconstrained.ok()) {
+        fail("constraint-equivalence", qi,
+             "unconstrained twin: " + unconstrained.status().ToString());
+      } else {
+        std::vector<Tid> dq;
+        for (Tid t = 0; t < dataset.num_records(); ++t) {
+          bool inside = true;
+          for (const RangeSelection& range : query.ranges) {
+            const ValueId v = dataset.Value(t, range.attr);
+            if (v < range.lo || v > range.hi) {
+              inside = false;
+              break;
+            }
+          }
+          if (inside) dq.push_back(t);
+        }
+        const RuleSet filtered =
+            FilterRules(dataset, dq, unconstrained->rules, query.constraints);
+        if (!baseline->rules.SameAs(filtered)) {
+          fail("constraint-equivalence", qi,
+               DiffRuleSets(schema, baseline->rules, filtered));
         }
       }
     }

@@ -40,6 +40,12 @@ struct CheckOptions {
   /// counters against the forced-scalar kernels, on both execution
   /// backends and thread counts. No-op on hosts without vector ISAs.
   bool check_simd = true;
+  /// Differential constraint equivalence: for every constrained query, a
+  /// constrained run must equal post-filtering the unconstrained twin's
+  /// rules. One scalar S-E-V comparison covers the whole matrix — every
+  /// other invariant already cross-checks each backend / thread / SIMD /
+  /// cache variant against the constrained baseline.
+  bool check_constraints = true;
   OracleOptions oracle;
 };
 
@@ -64,6 +70,9 @@ struct CheckOptions {
 ///   simd-equivalence    every SIMD level the host supports (scalar, AVX2,
 ///                       AVX-512) yields byte-identical rules and effort
 ///                       counters on both backends, at 1 and N threads
+///   constraint-equivalence  constraints pushed into execution return
+///                       exactly FilterRules(unconstrained twin) — the
+///                       post-filter reference semantics
 std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
                                  const CheckOptions& options = {});
 

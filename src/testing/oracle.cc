@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mining/constraints.h"
+
 namespace colarm {
 namespace fuzzing {
 
@@ -134,6 +136,8 @@ Result<RuleSet> OracleLocalizedRules(const Dataset& dataset,
       }
     }
     if (!attrs_ok) continue;
+    // Exact at the itemset level: a rule's itemset is the full CFI.
+    if (!ItemsetSatisfiesConstraints(cfi.items, query.constraints)) continue;
     const auto local =
         static_cast<uint32_t>(SupportingTids(dataset, cfi.items, &dq).size());
     if (local < min_count) continue;
@@ -149,11 +153,30 @@ Result<RuleSet> OracleLocalizedRules(const Dataset& dataset,
           consequent.push_back(cfi.items[i]);
         }
       }
+      if (!query.constraints.antecedent_only.empty()) {
+        bool pinned_ok = true;
+        for (ItemId item : consequent) {
+          if (std::binary_search(query.constraints.antecedent_only.begin(),
+                                 query.constraints.antecedent_only.end(),
+                                 schema.AttrOfItem(item))) {
+            pinned_ok = false;
+            break;
+          }
+        }
+        if (!pinned_ok) continue;
+      }
       const auto acount = static_cast<uint32_t>(
           SupportingTids(dataset, antecedent, &dq).size());
       if (acount == 0) continue;
       const double confidence = static_cast<double>(local) / acount;
       if (confidence + 1e-12 < query.minconf) continue;
+      if (query.constraints.HasMeasures()) {
+        const auto ccount = static_cast<uint32_t>(
+            SupportingTids(dataset, consequent, &dq).size());
+        const RuleCounts counts{local, acount, ccount,
+                                static_cast<uint32_t>(dq.size())};
+        if (!PassesMeasureFloors(counts, query.constraints)) continue;
+      }
       out.rules.push_back(Rule{std::move(antecedent), std::move(consequent),
                                local, acount,
                                static_cast<uint32_t>(dq.size())});

@@ -52,6 +52,19 @@ FuzzCase WithoutAttribute(const FuzzCase& base, AttrId drop) {
     }
     if (!out.dataset.AddRecord(record).ok()) std::abort();
   }
+  // Item ids are dense over (attribute, value): dropping an attribute
+  // shifts every item of the attributes above it, so constraint item lists
+  // must be remapped through the new schema (the dropped attribute itself
+  // is never constraint-mentioned — QueryMentionsAttr guards it).
+  const Schema& new_schema = out.dataset.schema();
+  auto remap_items = [&](Itemset* items) {
+    for (ItemId& item : *items) {
+      const AttrId a = schema.AttrOfItem(item);
+      const ValueId v = schema.ValueOfItem(item);
+      item = new_schema.ItemOf(a > drop ? a - 1 : a, v);
+    }
+    std::sort(items->begin(), items->end());
+  };
   for (LocalizedQuery query : base.queries) {
     for (auto& range : query.ranges) {
       if (range.attr > drop) --range.attr;
@@ -59,14 +72,31 @@ FuzzCase WithoutAttribute(const FuzzCase& base, AttrId drop) {
     for (auto& a : query.item_attrs) {
       if (a > drop) --a;
     }
+    remap_items(&query.constraints.must_contain);
+    remap_items(&query.constraints.must_exclude);
+    for (auto& a : query.constraints.antecedent_only) {
+      if (a > drop) --a;
+    }
     out.queries.push_back(std::move(query));
   }
   return out;
 }
 
-bool QueryMentionsAttr(const LocalizedQuery& query, AttrId attr) {
+bool QueryMentionsAttr(const Schema& schema, const LocalizedQuery& query,
+                       AttrId attr) {
   for (const auto& range : query.ranges) {
     if (range.attr == attr) return true;
+  }
+  for (ItemId item : query.constraints.must_contain) {
+    if (schema.AttrOfItem(item) == attr) return true;
+  }
+  for (ItemId item : query.constraints.must_exclude) {
+    if (schema.AttrOfItem(item) == attr) return true;
+  }
+  if (std::find(query.constraints.antecedent_only.begin(),
+                query.constraints.antecedent_only.end(),
+                attr) != query.constraints.antecedent_only.end()) {
+    return true;
   }
   return std::find(query.item_attrs.begin(), query.item_attrs.end(), attr) !=
          query.item_attrs.end();
@@ -123,7 +153,7 @@ FuzzCase ShrinkCase(const FuzzCase& failing, const CheckOptions& options) {
     if (current.dataset.num_attributes() <= 2) break;
     bool mentioned = false;
     for (const auto& query : current.queries) {
-      mentioned |= QueryMentionsAttr(query, a);
+      mentioned |= QueryMentionsAttr(current.dataset.schema(), query, a);
     }
     if (mentioned) continue;
     FuzzCase candidate = WithoutAttribute(current, a);
@@ -187,6 +217,31 @@ std::string FormatReproducer(const FuzzCase& fuzz_case) {
     }
     out += StrFormat("  query.minsupp = %.17g;\n", query.minsupp);
     out += StrFormat("  query.minconf = %.17g;\n", query.minconf);
+    const RuleConstraints& cons = query.constraints;
+    auto print_ids = [&out](const char* field, const auto& ids) {
+      if (ids.empty()) return;
+      out += StrFormat("  query.constraints.%s = {", field);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        out += StrFormat("%s%u", i ? ", " : "",
+                         static_cast<unsigned>(ids[i]));
+      }
+      out += "};\n";
+    };
+    print_ids("must_contain", cons.must_contain);
+    print_ids("must_exclude", cons.must_exclude);
+    print_ids("antecedent_only", cons.antecedent_only);
+    if (cons.min_lift > 0.0) {
+      out += StrFormat("  query.constraints.min_lift = %.17g;\n",
+                       cons.min_lift);
+    }
+    if (cons.min_cosine > 0.0) {
+      out += StrFormat("  query.constraints.min_cosine = %.17g;\n",
+                       cons.min_cosine);
+    }
+    if (cons.min_kulczynski > 0.0) {
+      out += StrFormat("  query.constraints.min_kulczynski = %.17g;\n",
+                       cons.min_kulczynski);
+    }
     out += "  fc.queries.push_back(query);\n";
   }
   out +=

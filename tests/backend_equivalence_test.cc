@@ -132,6 +132,47 @@ TEST(BackendEquivalenceTest, SyntheticPlantedPattern) {
   ExpectBackendsEquivalent(*index, queries);
 }
 
+// Constraint pushdown must stay byte-identical across backends and pool
+// sizes: constrained CHARM seeding, the vertical-view EXCLUDE projection,
+// VERIFY short-circuits, and measure gates all run inside the per-backend
+// operators, so each constraint shape sweeps the full matrix.
+TEST(BackendEquivalenceTest, ConstrainedQueries) {
+  for (uint64_t seed : {7u, 23u}) {
+    Dataset dataset = RandomDataset(seed, 300, 5, 4);
+    const Schema& schema = dataset.schema();
+    auto index = MipIndex::Build(dataset, {.primary_support = 0.08});
+    ASSERT_TRUE(index.ok());
+
+    LocalizedQuery contain = MakeQuery(0.1, 0.4, {{0, 0, 1}});
+    contain.constraints.must_contain = {schema.ItemOf(1, 0)};
+
+    LocalizedQuery exclude = MakeQuery(0.05, 0.3, {{0, 0, 2}});
+    exclude.constraints.must_exclude = {schema.ItemOf(2, 1),
+                                        schema.ItemOf(4, 0)};
+
+    LocalizedQuery pinned = MakeQuery(0.1, 0.4, {{1, 0, 1}});
+    pinned.constraints.antecedent_only = {0, 3};
+
+    LocalizedQuery measures = MakeQuery(0.05, 0.3, {{2, 0, 2}});
+    measures.constraints.min_lift = 1.0;
+    measures.constraints.min_kulczynski = 0.5;
+
+    LocalizedQuery combined = MakeQuery(0.05, 0.3, {{0, 0, 2}});
+    combined.constraints.must_contain = {schema.ItemOf(3, 0)};
+    combined.constraints.must_exclude = {schema.ItemOf(4, 2)};
+    combined.constraints.antecedent_only = {1};
+    combined.constraints.min_cosine = 0.4;
+
+    LocalizedQuery contradictory = MakeQuery(0.1, 0.4, {{0, 0, 1}});
+    contradictory.constraints.must_contain = {schema.ItemOf(1, 0)};
+    contradictory.constraints.must_exclude = {schema.ItemOf(1, 0)};
+
+    ExpectBackendsEquivalent(
+        *index,
+        {contain, exclude, pinned, measures, combined, contradictory});
+  }
+}
+
 // The engine-level knob: two engines differing only in `backend` agree on
 // every optimizer-chosen answer, and the bitmap engine agrees with the
 // scalar reference per forced plan.

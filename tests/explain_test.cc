@@ -79,6 +79,54 @@ TEST(ExplainTest, FormatRulesHonorsLimit) {
   EXPECT_NE(text.find("and 3 more rules"), std::string::npos);
 }
 
+// Constrained queries surface their provenance on both console surfaces:
+// EXPLAIN's decision table and the query-result summary. Unconstrained
+// output stays byte-identical (no constraints line at all).
+TEST(ExplainTest, ConstraintProvenanceOnBothSurfaces) {
+  Dataset data = MakeSalaryDataset();
+  EngineOptions options;
+  options.index.primary_support = 0.27;
+  options.calibrate = false;
+  auto engine = Engine::Build(data, options);
+  ASSERT_TRUE(engine.ok());
+
+  LocalizedQuery query;
+  query.ranges = {{2, 2, 2}};  // Seattle
+  query.minsupp = 0.5;
+  query.minconf = 0.6;
+  query.constraints.must_contain = {data.schema().ItemOf(3, 1)};
+  query.constraints.antecedent_only = {4};
+  query.constraints.min_kulczynski = 0.5;
+
+  auto decision = engine.value()->Explain(query);
+  ASSERT_TRUE(decision.ok());
+  std::string table = FormatDecision(*decision);
+  EXPECT_NE(table.find("constraints pushed into plan:"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("CONTAIN {Gender=F}"), std::string::npos) << table;
+  EXPECT_NE(table.find("ANTECEDENT ATTRIBUTES {Age}"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("minkulczynski"), std::string::npos) << table;
+
+  auto result = engine.value()->Execute(query);
+  ASSERT_TRUE(result.ok());
+  std::string text = FormatQueryResult(data.schema(), *result);
+  EXPECT_NE(text.find("constraints: CONTAIN {Gender=F}"), std::string::npos)
+      << text;
+
+  LocalizedQuery plain = query;
+  plain.constraints = RuleConstraints{};
+  auto plain_decision = engine.value()->Explain(plain);
+  ASSERT_TRUE(plain_decision.ok());
+  EXPECT_EQ(FormatDecision(*plain_decision).find("constraints"),
+            std::string::npos);
+  auto plain_result = engine.value()->Execute(plain);
+  ASSERT_TRUE(plain_result.ok());
+  EXPECT_EQ(FormatQueryResult(data.schema(), *plain_result)
+                .find("constraints"),
+            std::string::npos);
+}
+
 TEST(ExplainTest, FormatQueryResultEndToEnd) {
   auto data = std::make_unique<Dataset>(MakeSalaryDataset());
   EngineOptions options;

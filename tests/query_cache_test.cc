@@ -174,13 +174,13 @@ TEST(QueryCacheTest, MemoCommitAndReplay) {
   cache.Acquire(box, ExecBackend::kScalar, nullptr, &ignored);
   const std::string key = CanonicalBoxKey(box);
 
-  EXPECT_EQ(cache.MemoLookup(key, 3), nullptr);
+  EXPECT_EQ(cache.MemoLookup(key, "", 3), nullptr);
   auto txn = cache.BeginTxn(box);
   txn->RecordFull(3, 17);
   // Nothing visible until commit.
-  EXPECT_EQ(cache.MemoLookup(key, 3), nullptr);
+  EXPECT_EQ(cache.MemoLookup(key, "", 3), nullptr);
   cache.Commit(txn.get());
-  auto memo = cache.MemoLookup(key, 3);
+  auto memo = cache.MemoLookup(key, "", 3);
   ASSERT_NE(memo, nullptr);
   EXPECT_EQ(memo->full_count, 17u);
   EXPECT_TRUE(memo->superset_counts.empty());
@@ -190,13 +190,13 @@ TEST(QueryCacheTest, MemoCommitAndReplay) {
   auto upgrade = cache.BeginTxn(box);
   upgrade->RecordTable(3, 17, table);
   cache.Commit(upgrade.get());
-  auto upgraded = cache.MemoLookup(key, 3);
+  auto upgraded = cache.MemoLookup(key, "", 3);
   ASSERT_NE(upgraded, nullptr);
   EXPECT_EQ(upgraded->superset_counts, table);
   auto downgrade = cache.BeginTxn(box);
   downgrade->RecordFull(3, 17);
   cache.Commit(downgrade.get());
-  EXPECT_FALSE(cache.MemoLookup(key, 3)->superset_counts.empty());
+  EXPECT_FALSE(cache.MemoLookup(key, "", 3)->superset_counts.empty());
 }
 
 TEST(QueryCacheTest, MemoCounterReplaysTableExactly) {
@@ -227,7 +227,7 @@ TEST(QueryCacheTest, CommitToEvictedBoxIsDropped) {
                 &ignored);
   ASSERT_EQ(cache.Probe(a).tier, CacheTier::kNone);
   cache.Commit(txn.get());  // must not resurrect the entry
-  EXPECT_EQ(cache.MemoLookup(CanonicalBoxKey(a), 1), nullptr);
+  EXPECT_EQ(cache.MemoLookup(CanonicalBoxKey(a), "", 1), nullptr);
   EXPECT_EQ(cache.Probe(a).tier, CacheTier::kNone);
 }
 

@@ -279,6 +279,100 @@ TEST_F(QueryParserTest, UnexpectedCharacterRejected) {
   EXPECT_EQ(query.status().code(), StatusCode::kParseError);
 }
 
+TEST_F(QueryParserTest, ConstraintClausesParsed) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND CONTAIN { Gender = F, Company = Google } "
+      "AND EXCLUDE { Salary = 30K-60K } "
+      "AND ANTECEDENT ATTRIBUTES { Age, Location } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6 "
+      "AND minlift = 1.2 AND mincosine = 0.4 AND minkulczynski = 60%;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  // Item lists come back sorted and duplicate-free (canonical form).
+  Itemset contain = {schema().ItemOf(0, 1), schema().ItemOf(3, 1)};
+  EXPECT_EQ(query->constraints.must_contain, contain);
+  EXPECT_EQ(query->constraints.must_exclude,
+            (Itemset{schema().ItemOf(5, 0)}));
+  EXPECT_EQ(query->constraints.antecedent_only, (std::vector<AttrId>{2, 4}));
+  EXPECT_DOUBLE_EQ(query->constraints.min_lift, 1.2);
+  EXPECT_DOUBLE_EQ(query->constraints.min_cosine, 0.4);
+  EXPECT_DOUBLE_EQ(query->constraints.min_kulczynski, 0.6);
+  EXPECT_TRUE(query->Validate(schema()).ok());
+}
+
+TEST_F(QueryParserTest, DuplicateConstraintItemsCoalesced) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND CONTAIN { Gender = F, Gender = F } "
+      "AND ANTECEDENT ATTRIBUTES { Age, Age } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->constraints.must_contain,
+            (Itemset{schema().ItemOf(3, 1)}));
+  EXPECT_EQ(query->constraints.antecedent_only, (std::vector<AttrId>{4}));
+}
+
+TEST_F(QueryParserTest, UnknownValueInContainListRejected) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND CONTAIN { Gender = X } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryParserTest, MissingEqualsInExcludeListRejected) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND EXCLUDE { Gender F } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;");
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(QueryParserTest, NonLabelValueInContainListNamesTheClause) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND CONTAIN { Gender = { } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_NE(query.status().message().find("CONTAIN"), std::string::npos)
+      << query.status().ToString();
+}
+
+TEST_F(QueryParserTest, UnknownAttrInAntecedentAttributesRejected) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND ANTECEDENT ATTRIBUTES { Shoesize } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryParserTest, UnknownMeasureThresholdListsTheValidOnes) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6 AND minwobble = 1;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_NE(query.status().message().find("minkulczynski"),
+            std::string::npos)
+      << query.status().ToString();
+}
+
+TEST_F(QueryParserTest, MeasureFloorsAloneDontSatisfyRequiredThresholds) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "HAVING minlift = 1.0 AND mincosine = 0.5;");
+  EXPECT_FALSE(query.ok());
+}
+
 TEST_F(QueryParserTest, ParsedQueryValidates) {
   auto query = ParseQuery(schema(),
                           "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE "

@@ -311,6 +311,117 @@ TEST_F(ServerTest, TinyDeadlineAnswersDeadline) {
   EXPECT_NE(stats.find("mines 1 errors 1 "), std::string::npos) << stats;
 }
 
+// A constrained MINE is answered byte-identically to a direct engine
+// replay, and differs from the unconstrained MINE of the same box.
+TEST_F(ServerTest, ConstrainedMineMatchesEngineAndDiffersFromPlain) {
+  const char* plain =
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;";
+  const char* constrained =
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "AND EXCLUDE { Salary = 90K-120K } "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6;";
+  auto server = StartServer();
+  Client client(server->port());
+  client.Send("HELLO carol\n");
+  client.ReadResponse();
+
+  client.Send(std::string("MINE ") + plain + "\n");
+  std::string plain_resp = client.ReadResponse();
+  ASSERT_EQ(plain_resp.rfind("OK ", 0), 0u);
+  client.Send(std::string("MINE ") + constrained + "\n");
+  std::string constrained_resp = client.ReadResponse();
+  ASSERT_EQ(constrained_resp.rfind("OK ", 0), 0u);
+  EXPECT_NE(plain_resp, constrained_resp);
+
+  QueryCache replay_cache(engine_->index(),
+                          server->service().options().tenant_cache);
+  auto query = ParseQuery(data_->schema(), constrained);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_FALSE(query->constraints.Empty());
+  // Replay the session's query order so cache state matches.
+  auto first = ParseQuery(data_->schema(), plain);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(
+      engine_->Execute(*first, SessionContext{&replay_cache, nullptr}).ok());
+  auto direct =
+      engine_->Execute(*query, SessionContext{&replay_cache, nullptr});
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(constrained_resp,
+            OkResponse(RenderMineResult(data_->schema(), direct.value())));
+}
+
+// A malformed constraint clause is an ERR PARSE naming the offending
+// token, and the session stays usable.
+TEST_F(ServerTest, MalformedConstraintClauseIsParseError) {
+  auto server = StartServer();
+  Client client(server->port());
+  client.Send("HELLO dave\n");
+  client.ReadResponse();
+  const char* bad[] = {
+      // Unknown value label in the CONTAIN item list.
+      "MINE REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = "
+      "{Seattle} AND CONTAIN { Gender = X } HAVING minsupport = 0.5 AND "
+      "minconfidence = 0.6;\n",
+      // Unknown attribute in ANTECEDENT ATTRIBUTES.
+      "MINE REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = "
+      "{Seattle} AND ANTECEDENT ATTRIBUTES { Shoesize } HAVING "
+      "minsupport = 0.5 AND minconfidence = 0.6;\n",
+      // Unknown measure threshold name.
+      "MINE REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = "
+      "{Seattle} HAVING minsupport = 0.5 AND minconfidence = 0.6 AND "
+      "minwobble = 0.5;\n",
+  };
+  for (const char* line : bad) {
+    client.Send(line);
+    std::string resp = client.ReadResponse();
+    EXPECT_EQ(resp.rfind("ERR PARSE", 0), 0u) << resp;
+  }
+  client.Send(std::string("MINE ") + kDrillDown[0] + "\n");
+  EXPECT_EQ(client.ReadResponse().rfind("OK ", 0), 0u);
+}
+
+// EXPLAIN of a constrained query carries the constraint provenance the
+// optimizer recorded (which clauses were pushed into the plan).
+TEST_F(ServerTest, ExplainShowsConstraintProvenance) {
+  auto server = StartServer();
+  Client client(server->port());
+  client.Send("HELLO erin\n");
+  client.ReadResponse();
+  client.Send(
+      "EXPLAIN REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = "
+      "{Seattle} AND CONTAIN { Gender = F } AND ANTECEDENT ATTRIBUTES "
+      "{ Age } HAVING minsupport = 0.5 AND minconfidence = 0.6 AND "
+      "minkulczynski = 0.5;\n");
+  std::string resp = client.ReadResponse();
+  ASSERT_EQ(resp.rfind("OK ", 0), 0u) << resp;
+  EXPECT_NE(resp.find("constraints pushed into plan:"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("CONTAIN {Gender=F}"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("ANTECEDENT ATTRIBUTES {Age}"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("minkulczynski"), std::string::npos) << resp;
+}
+
+// The per-request deadline holds for constrained mines too: the constraint
+// pushdown path polls the same deadline checks as the plain one.
+TEST_F(ServerTest, TinyDeadlineHonoredMidConstrainedMine) {
+  ServerOptions options;
+  options.service.deadline_ms = 0.0001;  // expires before execution starts
+  auto server = StartServer(options);
+  Client client(server->port());
+  client.Send("HELLO frank\n");
+  client.ReadResponse();
+  client.Send(
+      "MINE REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = "
+      "{Seattle} AND CONTAIN { Gender = F } HAVING minsupport = 0.5 AND "
+      "minconfidence = 0.6;\n");
+  EXPECT_EQ(client.ReadResponse().rfind("ERR DEADLINE", 0), 0u);
+  client.Send("STATS\n");
+  std::string stats = client.ReadResponse();
+  EXPECT_NE(stats.find("mines 1 errors 1 "), std::string::npos) << stats;
+}
+
 TEST(ServiceAdmissionTest, BoundsEnforcedDeterministically) {
   auto data = std::make_unique<Dataset>(MakeSalaryDataset());
   EngineOptions engine_options;

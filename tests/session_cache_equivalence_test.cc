@@ -190,6 +190,126 @@ TEST_P(SessionCacheEquivalenceTest, ForcedPlansMatchColdAcrossAllSix) {
   }
 }
 
+// Constrained queries through the session cache: a warm engine replaying a
+// constrained exploration session (CONTAIN / EXCLUDE / pinned attributes /
+// measure floors over shared and repeated boxes) answers byte-identically
+// to a cold cache-less engine, on both backends at every pool size.
+TEST_P(SessionCacheEquivalenceTest, ConstrainedSessionMatchesCold) {
+  const auto [backend, num_threads] = GetParam();
+  auto data = std::make_unique<Dataset>(RandomDataset(54, 240, 5, 4));
+  const Schema& schema = data->schema();
+
+  EngineOptions cold_options;
+  cold_options.index.primary_support = 0.2;
+  cold_options.calibrate = false;
+  cold_options.backend = backend;
+  cold_options.num_threads = 1;
+  auto cold_engine = Engine::Build(*data, cold_options);
+  ASSERT_TRUE(cold_engine.ok());
+
+  EngineOptions warm_options = cold_options;
+  warm_options.num_threads = num_threads;
+  warm_options.cache.enabled = true;
+  auto warm_engine = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(warm_engine.ok());
+
+  // One box explored under shifting constraint sets — the interactive
+  // loop's canonical shape — plus an unconstrained baseline of the same
+  // box so every cache tier (exact, containment, memo) gets exercised
+  // across the constraint-key boundary.
+  LocalizedQuery base;
+  base.ranges = {{0, 0, 2}};
+  base.minsupp = 0.3;
+  base.minconf = 0.5;
+  std::vector<LocalizedQuery> queries = {base};
+  LocalizedQuery contain = base;
+  contain.constraints.must_contain = {schema.ItemOf(1, 0)};
+  queries.push_back(contain);
+  LocalizedQuery exclude = base;
+  exclude.constraints.must_exclude = {schema.ItemOf(2, 1)};
+  queries.push_back(exclude);
+  LocalizedQuery pinned = base;
+  pinned.constraints.antecedent_only = {3};
+  queries.push_back(pinned);
+  LocalizedQuery measured = base;
+  measured.constraints.min_lift = 1.0;
+  measured.constraints.min_cosine = 0.3;
+  queries.push_back(measured);
+  LocalizedQuery drill = contain;  // contained box, same constraint set
+  drill.ranges = {{0, 0, 1}};
+  drill.minsupp = 0.35;
+  queries.push_back(drill);
+  queries.push_back(contain);  // exact repeat of a constrained query
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto cold = (*cold_engine)->Execute(queries[i]);
+      auto warm = (*warm_engine)->Execute(queries[i]);
+      ASSERT_TRUE(cold.ok());
+      ASSERT_TRUE(warm.ok());
+      std::string context =
+          "backend=" + std::to_string(static_cast<int>(backend)) +
+          " threads=" + std::to_string(num_threads) + " pass=" +
+          std::to_string(pass) + " constrained query " + std::to_string(i);
+      ExpectSameRules(cold->rules, warm->rules, context);
+      ExpectSameEffort(cold->stats, warm->stats, context);
+      EXPECT_EQ(cold->plan_used, warm->plan_used) << context;
+    }
+  }
+  CacheTelemetry t = (*warm_engine)->cache()->telemetry();
+  EXPECT_GT(t.hits_exact, 0u);
+}
+
+// Count-memo isolation: memo entries are namespaced by the constraint
+// cache key, so a query must never consume memos written under a
+// different constraint set for the same box — and must hit its own.
+TEST(SessionCacheEquivalenceTest, MemoEntriesNeverLeakAcrossConstraintKeys) {
+  auto data = std::make_unique<Dataset>(RandomDataset(55, 240, 5, 4));
+  const Schema& schema = data->schema();
+
+  EngineOptions options;
+  options.index.primary_support = 0.2;
+  options.calibrate = false;
+  options.num_threads = 1;
+  options.cache.enabled = true;
+  auto engine = Engine::Build(*data, options);
+  ASSERT_TRUE(engine.ok());
+  QueryCache* cache = (*engine)->cache();
+  ASSERT_NE(cache, nullptr);
+  ASSERT_TRUE(cache->options().count_memo);
+
+  LocalizedQuery plain;
+  plain.ranges = {{0, 0, 2}};
+  plain.minsupp = 0.3;
+  plain.minconf = 0.5;
+  LocalizedQuery constrained = plain;
+  constrained.constraints.must_contain = {schema.ItemOf(1, 0)};
+  LocalizedQuery other = plain;
+  other.constraints.must_exclude = {schema.ItemOf(2, 1)};
+
+  // Populate memos under the unconstrained ("") key.
+  ASSERT_TRUE((*engine)->Execute(plain).ok());
+  const uint64_t after_plain = cache->telemetry().hits_count_memo;
+
+  // Same box, different constraint keys: neither run may consume the
+  // unconstrained memos (or each other's).
+  ASSERT_TRUE((*engine)->Execute(constrained).ok());
+  EXPECT_EQ(cache->telemetry().hits_count_memo, after_plain)
+      << "constrained query consumed unconstrained count memos";
+  ASSERT_TRUE((*engine)->Execute(other).ok());
+  EXPECT_EQ(cache->telemetry().hits_count_memo, after_plain)
+      << "EXCLUDE query consumed a foreign constraint key's memos";
+
+  // Replaying each query hits its OWN namespace.
+  ASSERT_TRUE((*engine)->Execute(plain).ok());
+  const uint64_t plain_hot = cache->telemetry().hits_count_memo;
+  EXPECT_GT(plain_hot, after_plain);
+  ASSERT_TRUE((*engine)->Execute(constrained).ok());
+  const uint64_t constrained_hot = cache->telemetry().hits_count_memo;
+  EXPECT_GT(constrained_hot, plain_hot)
+      << "constrained replay missed its own memo namespace";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     BackendsAndThreads, SessionCacheEquivalenceTest,
     ::testing::Combine(::testing::Values(ExecBackend::kScalar,

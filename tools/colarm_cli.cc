@@ -9,7 +9,10 @@
 //
 // Commands:
 //   query 'REPORT ...;'     run one textual query (repeatable via stdin
-//                           when the argument is '-')
+//                           when the argument is '-'); supports the
+//                           constraint clauses CONTAIN / EXCLUDE /
+//                           ANTECEDENT ATTRIBUTES and the HAVING measure
+//                           floors minlift / mincosine / minkulczynski
 //   suggest                 print the parameter recommender's proposals
 //   stats                   print index statistics
 //   explain 'REPORT ...;'   show per-plan cost estimates, do not execute
@@ -200,6 +203,11 @@ int RunQuery(const Engine& engine, const Dataset& dataset,
   std::printf("%zu rule(s), plan %s, %.3f ms (|DQ|=%u)\n",
               result->rules.rules.size(), PlanKindName(result->plan_used),
               result->stats.total_ms, result->stats.subset_size);
+  if (!result->decision.constraints.empty()) {
+    std::string clauses = result->decision.constraints;
+    if (clauses.rfind(" AND ", 0) == 0) clauses.erase(0, 5);
+    std::printf("constraints: %s\n", clauses.c_str());
+  }
   std::printf("%s", FormatRules(schema, result->rules, options.limit).c_str());
 
   if (!options.export_csv.empty() || !options.export_json.empty()) {

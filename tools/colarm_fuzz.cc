@@ -5,8 +5,10 @@
 // invariant: all six plans vs. the brute-force oracle, thread-count
 // invariance (1/2/8), serialize round-trips, threshold monotonicity,
 // focal-box containment dominance, backend and session-cache equivalence,
-// and SIMD kernel-level equivalence. The first failing case is shrunk to a
-// minimal dataset+query reproducer and printed as a ready-to-paste test.
+// SIMD kernel-level equivalence, and differential constraint equivalence
+// (constrained execution == post-filtered unconstrained execution). The
+// first failing case is shrunk to a minimal dataset+query reproducer and
+// printed as a ready-to-paste test.
 //
 // Usage:
 //   colarm_fuzz [flags]
@@ -23,6 +25,8 @@
 //   --no-serialize     skip the serialize round-trip invariant
 //   --no-session-cache skip the session-cache replay invariant
 //   --no-simd          skip the SIMD kernel-level equivalence invariant
+//   --no-constraints   generate only unconstrained queries and skip the
+//                      constraint-equivalence invariant
 //   --no-shrink        report the raw failing case without minimizing it
 //   --inject-off-by-one  bias the oracle's local minsupport threshold by
 //                      +1 to demonstrate that a >= vs > bug is caught
@@ -47,6 +51,7 @@ struct FuzzFlags {
   bool smoke = false;
   bool shrink = true;
   bool inject_off_by_one = false;
+  bool constraints = true;
   fuzzing::CheckOptions check;
 };
 
@@ -55,8 +60,8 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds N] [--seed-base S] [--smoke] "
                "[--minutes M]\n"
                "          [--threads A,B,...] [--no-serialize] "
-               "[--no-session-cache] [--no-simd] [--no-shrink] "
-               "[--inject-off-by-one]\n",
+               "[--no-session-cache] [--no-simd] [--no-constraints] "
+               "[--no-shrink] [--inject-off-by-one]\n",
                argv0);
   return 2;
 }
@@ -95,6 +100,9 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       flags->check.check_session_cache = false;
     } else if (arg == "--no-simd") {
       flags->check.check_simd = false;
+    } else if (arg == "--no-constraints") {
+      flags->constraints = false;
+      flags->check.check_constraints = false;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--inject-off-by-one") {
@@ -113,6 +121,7 @@ int Main(int argc, char** argv) {
   if (flags.inject_off_by_one) flags.check.oracle.inject_min_count_bias = 1;
 
   fuzzing::FuzzLimits limits;
+  limits.constraints = flags.constraints;
   if (flags.smoke) {
     // CI envelope: tiny cases, whole run < 60 s including the oracle.
     limits.max_records = 80;
