@@ -16,12 +16,19 @@
 // Results are identical by construction (the equivalence tests enforce it);
 // this figure measures the wall-clock side and appends one JSON line per
 // workload to the bench sink.
+//
+// At full scale (COLARM_BENCH_SCALE >= 1) a second section repeats the
+// exercise on the PUMSB analog with a persisted restart in the middle:
+// cold, then a fresh process-equivalent engine warm-started from the v4
+// cache file (mmap-warm), then fully hot. Those rows land in the sink as
+// "figure":"cache_scale".
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "common/timer.h"
+#include "core/cache_persist.h"
 #include "harness.h"
 
 namespace colarm {
@@ -69,7 +76,18 @@ std::vector<Workload> MakeWorkloads(const BenchDataset& dataset) {
   for (double lo : {0.0, 0.1, 0.2, 0.3, 0.4}) {
     neighbours.queries.push_back(box(lo, 0.15, minsupp, minconf));
   }
-  return {std::move(drill), std::move(sweep), std::move(neighbours)};
+
+  // Union/difference-shaped session: adjacent slabs first, then boxes the
+  // tier-2.5 planner can assemble from them (the union of the slabs, a
+  // trimmed prefix of a wide box) instead of rescanning the relation.
+  Workload overlap{"overlap-drill", {}};
+  overlap.queries.push_back(box(0.0, 0.25, minsupp, minconf));
+  overlap.queries.push_back(box(0.25, 0.25, minsupp, minconf));
+  overlap.queries.push_back(box(0.0, 0.5, minsupp, minconf));   // union
+  overlap.queries.push_back(box(0.0, 0.35, minsupp, minconf));  // trim
+  overlap.queries.push_back(box(0.1, 0.4, minsupp, minconf));   // inner
+  return {std::move(drill), std::move(sweep), std::move(neighbours),
+          std::move(overlap)};
 }
 
 std::unique_ptr<Engine> BuildCachedEngine(const BenchDataset& dataset) {
@@ -122,8 +140,8 @@ void AppendJson(const BenchDataset& dataset, const Engine& warm,
       "\"workload\":\"%s\",\"queries\":%zu,"
       "\"cold_ms\":%.3f,\"warm_ms\":%.3f,\"hot_ms\":%.3f,"
       "\"warm_speedup\":%.2f,\"hot_speedup\":%.2f,"
-      "\"cache\":{\"exact\":%llu,\"containment\":%llu,\"memo\":%llu,"
-      "\"misses\":%llu,\"bytes\":%llu}}\n",
+      "\"cache\":{\"exact\":%llu,\"containment\":%llu,\"compose\":%llu,"
+      "\"memo\":%llu,\"misses\":%llu,\"bytes\":%llu}}\n",
       dataset.name.c_str(), dataset.data->num_records(), ScaleFromEnv(),
       warm.pool() != nullptr
           ? static_cast<unsigned>(warm.pool()->parallelism())
@@ -133,10 +151,117 @@ void AppendJson(const BenchDataset& dataset, const Engine& warm,
       cold_ms / std::max(hot_ms, 1e-9),
       static_cast<unsigned long long>(t.hits_exact),
       static_cast<unsigned long long>(t.hits_containment),
+      static_cast<unsigned long long>(t.hits_compose),
       static_cast<unsigned long long>(t.hits_count_memo),
       static_cast<unsigned long long>(t.misses),
       static_cast<unsigned long long>(t.bytes));
   std::fclose(out);
+}
+
+void AppendScaleJson(const BenchDataset& dataset, const Engine& restored,
+                     const char* workload, size_t queries, double cold_ms,
+                     double mmap_warm_ms, double hot_ms) {
+  std::string path = JsonSinkPath();
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "BENCH json sink %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return;
+  }
+  const CacheTelemetry t = restored.cache()->telemetry();
+  std::fprintf(
+      out,
+      "{\"dataset\":\"%s\",\"figure\":\"cache_scale\",\"records\":%u,"
+      "\"scale\":%g,\"num_threads\":%u,\"backend\":\"%s\","
+      "\"workload\":\"%s\",\"queries\":%zu,"
+      "\"cold_ms\":%.3f,\"mmap_warm_ms\":%.3f,\"hot_ms\":%.3f,"
+      "\"mmap_warm_speedup\":%.2f,\"hot_speedup\":%.2f,"
+      "\"cache\":{\"exact\":%llu,\"containment\":%llu,\"compose\":%llu,"
+      "\"memo\":%llu,\"misses\":%llu,\"admitrej\":%llu,\"bytes\":%llu}}\n",
+      dataset.name.c_str(), dataset.data->num_records(), ScaleFromEnv(),
+      restored.pool() != nullptr
+          ? static_cast<unsigned>(restored.pool()->parallelism())
+          : 1u,
+      ExecBackendName(restored.options().backend), workload, queries,
+      cold_ms, mmap_warm_ms, hot_ms, cold_ms / std::max(mmap_warm_ms, 1e-9),
+      cold_ms / std::max(hot_ms, 1e-9),
+      static_cast<unsigned long long>(t.hits_exact),
+      static_cast<unsigned long long>(t.hits_containment),
+      static_cast<unsigned long long>(t.hits_compose),
+      static_cast<unsigned long long>(t.hits_count_memo),
+      static_cast<unsigned long long>(t.misses),
+      static_cast<unsigned long long>(t.admission_rejects),
+      static_cast<unsigned long long>(t.bytes));
+  std::fclose(out);
+}
+
+// PUMSB-scale warm-restart figure: a session populates the cache, the v4
+// file is persisted, and a fresh engine (the "restarted process") loads it
+// before replaying the session. Three timings per workload: a cache-less
+// engine (cold), the restored engine's first replay (mmap-warm), and its
+// steady state (hot). Gated on full scale — at smoke scales the PUMSB
+// analog is too small for the restart cost to mean anything.
+void RunScaleFigure() {
+  if (ScaleFromEnv() < 1.0) {
+    std::printf(
+        "\ncache_scale: skipped (COLARM_BENCH_SCALE=%g < 1; PUMSB-scale "
+        "warm-restart rows need the full-size analog)\n",
+        ScaleFromEnv());
+    return;
+  }
+  BenchDataset dataset = MakePumsb();
+  std::printf(
+      "\nWarm restart at scale — %s analog (m=%u, primary=%g%%), cold vs "
+      "mmap-warm vs hot\n\n",
+      dataset.name.c_str(), dataset.data->num_records(),
+      dataset.primary_support * 100.0);
+
+  auto cold_engine = BuildEngine(dataset);
+  const std::string cache_path = "BENCH_session.ccache";
+  std::printf("%-18s %8s %10s %12s %10s %8s %8s\n", "workload", "queries",
+              "cold ms", "mmapwarm ms", "hot ms", "warm x", "hot x");
+  for (Workload& workload : MakeWorkloads(dataset)) {
+    constexpr int kReps = 3;
+    double cold_ms = 1e100;
+    for (int r = 0; r < kReps; ++r) {
+      cold_ms = std::min(cold_ms, RunPass(*cold_engine, workload.queries));
+    }
+
+    // Populate a session cache and persist it — this is the "previous
+    // process" whose work the restart inherits.
+    auto first_engine = BuildCachedEngine(dataset);
+    RunPass(*first_engine, workload.queries);
+    Status saved = SaveQueryCache(*first_engine->cache(),
+                                  first_engine->index(), cache_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cache save failed: %s\n",
+                   saved.ToString().c_str());
+      std::abort();
+    }
+    first_engine.reset();
+
+    auto restored = BuildCachedEngine(dataset);
+    Status loaded =
+        LoadQueryCache(restored->index(), cache_path, restored->cache());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cache load failed: %s\n",
+                   loaded.ToString().c_str());
+      std::abort();
+    }
+    const double mmap_warm_ms = RunPass(*restored, workload.queries);
+    double hot_ms = 1e100;
+    for (int r = 0; r < kReps; ++r) {
+      hot_ms = std::min(hot_ms, RunPass(*restored, workload.queries));
+    }
+    std::printf("%-18s %8zu %10.2f %12.2f %10.2f %7.1fx %7.1fx\n",
+                workload.name, workload.queries.size(), cold_ms,
+                mmap_warm_ms, hot_ms, cold_ms / std::max(mmap_warm_ms, 1e-9),
+                cold_ms / std::max(hot_ms, 1e-9));
+    AppendScaleJson(dataset, *restored, workload.name,
+                    workload.queries.size(), cold_ms, mmap_warm_ms, hot_ms);
+  }
+  std::remove(cache_path.c_str());
 }
 
 int Main() {
@@ -169,6 +294,7 @@ int Main() {
     AppendJson(dataset, *warm_engine, workload.name, workload.queries.size(),
                cold_ms, warm_ms, hot_ms);
   }
+  RunScaleFigure();
   return 0;
 }
 

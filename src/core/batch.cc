@@ -235,8 +235,11 @@ Result<BatchResult> BatchExecutor::Execute(
         after.hits_containment - before.hits_containment;
     batch.cache.hits_count_memo =
         after.hits_count_memo - before.hits_count_memo;
+    batch.cache.hits_compose = after.hits_compose - before.hits_compose;
     batch.cache.misses = after.misses - before.misses;
     batch.cache.evictions = after.evictions - before.evictions;
+    batch.cache.admission_rejects =
+        after.admission_rejects - before.admission_rejects;
     batch.cache.bytes = after.bytes;
     batch.cache.entries = after.entries;
   }

@@ -112,8 +112,11 @@ Result<QueryResult> Engine::Run(const LocalizedQuery& query, PlanKind forced,
         after.hits_containment - before.hits_containment;
     result.cache.hits_count_memo =
         after.hits_count_memo - before.hits_count_memo;
+    result.cache.hits_compose = after.hits_compose - before.hits_compose;
     result.cache.misses = after.misses - before.misses;
     result.cache.evictions = after.evictions - before.evictions;
+    result.cache.admission_rejects =
+        after.admission_rejects - before.admission_rejects;
     result.cache.bytes = after.bytes;
     result.cache.entries = after.entries;
   }

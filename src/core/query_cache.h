@@ -1,6 +1,7 @@
 #ifndef COLARM_CORE_QUERY_CACHE_H_
 #define COLARM_CORE_QUERY_CACHE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,7 +27,7 @@ struct QueryCacheOptions {
   /// performance-identical to a cache-less build: no probes, no inserts,
   /// no memo, no telemetry.
   bool enabled = false;
-  /// Resident-byte budget for cached subsets plus their count memos; LRU
+  /// Resident-byte budget for cached subsets plus their count memos;
   /// eviction keeps the total under it. 0 disables the cache outright.
   size_t byte_budget = size_t{64} << 20;
   /// Tier 3: memoize per-(box, itemset) local support counts so refinement
@@ -35,15 +36,18 @@ struct QueryCacheOptions {
   bool count_memo = true;
 };
 
-/// Observability counters. Hits/misses/evictions are monotonic totals;
-/// bytes/entries are the resident state. All are deterministic for a given
-/// query sequence — independent of backend, thread count, and timing.
+/// Observability counters. Hits/misses/evictions/rejects are monotonic
+/// totals; bytes/entries are the resident state. All are deterministic for
+/// a given query sequence — independent of backend, thread count, and
+/// timing.
 struct CacheTelemetry {
   uint64_t hits_exact = 0;
   uint64_t hits_containment = 0;
+  uint64_t hits_compose = 0;  // tier 2.5: assembled from overlapping entries
   uint64_t hits_count_memo = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t admission_rejects = 0;  // TinyLFU gate kept the victim instead
   uint64_t bytes = 0;
   uint64_t entries = 0;
 };
@@ -58,6 +62,17 @@ struct CacheTelemetry {
 struct CountMemoEntry {
   uint32_t full_count = 0;
   std::vector<uint32_t> superset_counts;
+};
+
+/// One memoized ARM mining result for a (box, constraints, local minimum
+/// count) triple: the qualified (MIP id, local count) pairs the miner
+/// produced, sorted by MIP id, plus the local-CFI tally the run charged.
+/// Replaying it skips the from-scratch CHARM/FP-growth pass outright while
+/// keeping rules and effort counters byte-identical — the qualified set is
+/// a pure function of the triple. Immutable once published.
+struct ArmMemoEntry {
+  uint64_t local_cfis = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> qualified;  // (mip_id, count)
 };
 
 /// Buffered count-memo writes of one query execution. Operators record
@@ -83,6 +98,11 @@ class CountMemoTxn {
   void RecordTable(uint32_t mip_id, uint32_t full_count,
                    std::span<const uint32_t> superset_counts);
 
+  /// Records one ARM mining run's complete qualified set at its local
+  /// minimum count (first write wins; results are deterministic).
+  void RecordArmMine(uint32_t min_count, uint64_t local_cfis,
+                     std::vector<std::pair<uint32_t, uint32_t>> qualified);
+
  private:
   friend class QueryCache;
 
@@ -93,6 +113,7 @@ class CountMemoTxn {
   std::string constraint_key_;
   std::mutex mutex_;
   std::map<uint32_t, CountMemoEntry> writes_;
+  std::map<uint32_t, ArmMemoEntry> arm_writes_;  // keyed by min_count
 };
 
 /// Drop-in counter replaying a memoized subset-count table: satisfies the
@@ -121,25 +142,61 @@ class MemoSubsetCounter {
   uint32_t base_size_;
 };
 
+/// One resident entry's externally visible state — the unit the v4
+/// persistence layer (core/cache_persist.h) saves and restores. Snapshots
+/// come out oldest-recency first so restoring replays the same order.
+struct CacheEntrySnapshot {
+  Rect box;
+  std::shared_ptr<const FocalSubset> subset;
+  bool is_protected = false;  // 2Q segment (probation vs protected)
+  uint64_t hits = 0;
+  uint64_t derivations = 0;
+  std::vector<std::pair<std::pair<std::string, uint32_t>,
+                        std::shared_ptr<const CountMemoEntry>>>
+      memos;
+  std::vector<std::pair<std::pair<std::string, uint32_t>,
+                        std::shared_ptr<const ArmMemoEntry>>>
+      arm_memos;  // keyed (constraint key, local minimum count)
+};
+
 /// The session-scoped semantic cache (owned by the Engine, shared by the
-/// BatchExecutor): an LRU, byte-budgeted store of materialized focal
-/// subsets keyed by canonical box, with three reuse tiers —
+/// BatchExecutor): a byte-budgeted store of materialized focal subsets
+/// keyed by canonical box, with four reuse tiers —
 ///
-///   1. exact: a query's box is resident → copy its tid list, no scan;
-///   2. containment: a resident box *contains* the query's box → derive DQ
-///      by filtering the cached subset (scalar: re-test the cached tids on
-///      the narrowed attributes; bitmap: AND the cached subset's bitmap
-///      with one range-OR per narrowed attribute) — exact by the focal-box
-///      containment invariant;
-///   3. count memo: per-(box, MIP) local counts recorded by
-///      ELIMINATE/VERIFY, replayed by later queries on the same box with
-///      different thresholds (exact by threshold monotonicity).
+///   1.   exact: a query's box is resident → copy its tid list, no scan;
+///   2.   containment: a resident box *contains* the query's box → derive
+///        DQ by filtering the cached subset (scalar: re-test the cached
+///        tids on the narrowed attributes; bitmap: AND the cached subset's
+///        bitmap with one range-OR per narrowed attribute) — exact by the
+///        focal-box containment invariant;
+///   2.5. compose: the box is assembled from *overlapping* resident boxes
+///        via union / difference / intersection of their tid lists (slab
+///        geometry keeps every shape provably exact; see PlanComposeLocked)
+///        whenever a deterministic size-based cost gate prices the combine
+///        below both the best containment filter and the cold scan;
+///   3.   count memo: per-(box, MIP) local counts recorded by
+///        ELIMINATE/VERIFY, replayed by later queries on the same box with
+///        different thresholds (exact by threshold monotonicity) — plus
+///        per-(box, constraints, min count) ARM mining results, so a
+///        repeated ARM-plan query skips the from-scratch CHARM/FP-growth
+///        pass entirely (exact: the qualified set is a pure function of
+///        that triple).
 ///
 /// Every tier is byte-identical to cold execution in rules and effort
 /// counters: warm paths charge the cold semantic record-check price, the
 /// same convention the bitmap backend already follows. Entries store tid
 /// lists only (no backend-specific sidecars), so byte accounting,
 /// eviction order, and telemetry are identical across backends.
+///
+/// Admission/eviction is scan-resistant (TinyLFU + 2Q) instead of pure
+/// LRU: a 4-row count-min sketch estimates per-box request frequency, new
+/// entries land in a probation segment, and exact hits or derivation use
+/// promote an entry to the protected segment (capped at ~80% of budget).
+/// Under pressure the probation LRU goes first; when a victim's sketch
+/// frequency strictly exceeds the incoming entry's, the incoming entry is
+/// dropped instead (`admission_rejects`), so one bulk sweep of one-off
+/// boxes cannot flush a hot drill-down set. All of it is deterministic in
+/// the acquisition sequence.
 ///
 /// Thread safety: all methods are safe to call concurrently; determinism
 /// of state transitions is the *callers'* contract (acquisitions and
@@ -149,7 +206,8 @@ class QueryCache {
   QueryCache(const MipIndex& index, QueryCacheOptions options);
 
   /// Read-only probe for the optimizer: which tier would serve `box` right
-  /// now. Touches neither recency nor telemetry.
+  /// now (running the same composition planner Acquire runs). Touches
+  /// neither recency, sketch, nor telemetry.
   CacheHint Probe(const Rect& box) const;
 
   /// The focal subset handed to one plan execution, plus how it was served.
@@ -159,12 +217,13 @@ class QueryCache {
   };
 
   /// Serves the focal subset for `box` from the best tier — exact copy,
-  /// containment derivation, or cold materialization — inserting the
-  /// resulting subset and updating LRU recency, telemetry, and evictions.
-  /// `record_checks` is charged exactly the cold price (the relation size,
-  /// iff the box constrains anything) regardless of tier, so plan
-  /// statistics stay byte-identical to cold execution. Call from
-  /// sequential points only (see class comment).
+  /// containment derivation, tier-2.5 composition, or cold
+  /// materialization — inserting the resulting subset and updating
+  /// recency/segments, telemetry, and evictions. `record_checks` is
+  /// charged exactly the cold price (the relation size, iff the box
+  /// constrains anything) regardless of tier, so plan statistics stay
+  /// byte-identical to cold execution. Call from sequential points only
+  /// (see class comment).
   Lease Acquire(const Rect& box, ExecBackend backend, ThreadPool* pool,
                 uint64_t* record_checks);
 
@@ -174,6 +233,14 @@ class QueryCache {
   std::shared_ptr<const CountMemoEntry> MemoLookup(
       const std::string& box_key, const std::string& constraint_key,
       uint32_t mip_id) const;
+
+  /// Tier-3 read for the ARM plan: the committed mining result for (box,
+  /// constraints, local minimum count), null on a miss. Exact-triple match
+  /// only — `local_cfis` is threshold-specific, so serving a different
+  /// count would desynchronize warm effort counters from cold.
+  std::shared_ptr<const ArmMemoEntry> ArmMemoLookup(
+      const std::string& box_key, const std::string& constraint_key,
+      uint32_t min_count) const;
 
   /// Telemetry: one ELIMINATE/VERIFY candidate was served from the memo.
   void NoteMemoServed();
@@ -194,6 +261,17 @@ class QueryCache {
   /// Drops every entry and resets resident bytes (totals keep counting).
   void Clear();
 
+  /// Resident entries, oldest recency first — the persistence layer's
+  /// read side. Subsets/memos are shared, not copied.
+  std::vector<CacheEntrySnapshot> Snapshot() const;
+
+  /// Replaces residency with `entries` (recency assigned in order, oldest
+  /// first), recomputes byte accounting, and evicts over budget. The
+  /// frequency sketch is *not* restored — a warm-restarted cache starts
+  /// with a cold sketch, which only affects admission under pressure,
+  /// never served bytes. Totals keep counting, like Clear().
+  void Restore(std::vector<CacheEntrySnapshot> entries);
+
  private:
   struct Entry {
     Rect box;
@@ -203,23 +281,81 @@ class QueryCache {
     std::map<std::pair<std::string, uint32_t>,
              std::shared_ptr<const CountMemoEntry>>
         memo;
+    /// Keyed by (constraint key, local minimum count).
+    std::map<std::pair<std::string, uint32_t>,
+             std::shared_ptr<const ArmMemoEntry>>
+        arm_memo;
     size_t bytes = 0;
     uint64_t last_used = 0;
+    bool is_protected = false;  // 2Q segment
+    uint64_t hits = 0;          // exact hits served from this entry
+    uint64_t derivations = 0;   // times used as a tier-2/2.5 source
   };
 
-  /// Containment source for `box`: the resident entry with the smallest
-  /// subset (cheapest filter), key order breaking ties — deterministic, so
-  /// Probe and Acquire agree. Returns entries_.end() when nothing
-  /// contains the box. Caller holds mutex_.
-  std::map<std::string, Entry>::const_iterator FindContaining(
-      const Rect& box) const;
+  /// TinyLFU frequency sketch: 4-row count-min over box-key hashes with
+  /// saturating 8-bit counters, halved every kSketchDecayPeriod
+  /// recordings so stale popularity ages out. Purely a function of the
+  /// acquisition sequence — deterministic.
+  struct FrequencySketch {
+    static constexpr uint32_t kRows = 4;
+    static constexpr uint32_t kColumns = 1024;  // power of two
+    static constexpr uint32_t kSketchDecayPeriod = 1024;
 
-  /// Inserts (or refreshes) the entry for `key`, then evicts least-
-  /// recently-used entries until resident bytes fit the budget. Caller
-  /// holds mutex_.
+    void Record(uint64_t hash);
+    uint32_t Estimate(uint64_t hash) const;
+
+    std::array<std::array<uint8_t, kColumns>, kRows> counters{};
+    uint32_t recordings = 0;
+  };
+
+  /// A composition route for a non-resident box, chosen by the planner.
+  struct ComposePlan {
+    enum class Shape { kNone, kFilter, kUnion, kDifference, kIntersect };
+    Shape shape = Shape::kNone;
+    /// Entry keys, shape-specific order: kFilter/{src}; kUnion/{slabs};
+    /// kDifference/{outer, slabs...}; kIntersect/{a, b}.
+    std::vector<std::string> sources;
+    /// Outer box of the residual filter (kFilter: the source's box;
+    /// kIntersect: a.box ∩ b.box).
+    Rect residual_outer;
+    uint32_t delta_attrs = 0;  // attrs the residual filter re-tests
+    double summed_runs = 0.0;  // tid-run length the scalar merge walks
+    double cost = 0.0;         // size-proxy cost (see PlanComposeLocked)
+  };
+
+  /// The tier-2/2.5 planner: enumerates the exact reuse shapes available
+  /// for `box` (single-source containment filter; per-axis slab union;
+  /// outer-minus-slabs difference; contained-pair intersection) and picks
+  /// deterministically by an integer size-proxy cost. A multi-source shape
+  /// is admitted only when strictly cheaper than both the best containment
+  /// filter and the cold scan; containment itself stays ungated, matching
+  /// the pre-2.5 behavior. Caller holds mutex_.
+  ComposePlan PlanComposeLocked(const Rect& box) const;
+
+  /// Materializes the planned composition. Bitmap backend: word-parallel
+  /// OR/ANDNOT/AND through the SIMD dispatch plus a NarrowDq residual;
+  /// scalar: merges of sorted tid runs. Both produce the exact sorted
+  /// T_box. Caller holds mutex_.
+  std::vector<Tid> ExecuteComposeLocked(const ComposePlan& plan,
+                                        const Rect& box, ExecBackend backend,
+                                        ThreadPool* pool) const;
+
+  /// Bumps per-entry derivation accounting and promotes `key` into the
+  /// protected segment. Caller holds mutex_.
+  void NoteDerivationSourceLocked(const std::string& key);
+  void PromoteLocked(Entry* entry);
+  size_t ProtectedBytesLocked() const;
+
+  /// Inserts (or refreshes) the entry for `key` into probation, then
+  /// evicts until resident bytes fit the budget. Caller holds mutex_.
   void InsertLocked(std::string key, const Rect& box,
                     std::shared_ptr<const FocalSubset> subset);
-  void EvictOverBudgetLocked();
+
+  /// Evicts until under budget: probation LRU first, protected LRU after,
+  /// with the TinyLFU admission gate protecting higher-frequency victims
+  /// from `incoming_key` (null = no incoming entry to trade off). Caller
+  /// holds mutex_.
+  void EvictOverBudgetLocked(const std::string* incoming_key);
 
   const MipIndex* index_;
   QueryCacheOptions options_;
@@ -227,6 +363,7 @@ class QueryCache {
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   uint64_t clock_ = 0;
+  FrequencySketch sketch_;
   CacheTelemetry counters_;  // bytes/entries tracked here too
 };
 

@@ -289,7 +289,7 @@ class Parser {
   }
 
   // minsupport/minconfidence (required) or a measure floor: minlift,
-  // mincosine, minkulczynski.
+  // mincosine, minkulczynski, minantsupp.
   Status ParseThreshold(LocalizedQuery* query) {
     double* slot = nullptr;
     if (PeekKeyword("minsupport") || PeekKeyword("minsupp")) {
@@ -304,10 +304,12 @@ class Parser {
       slot = &query->constraints.min_cosine;
     } else if (PeekKeyword("minkulczynski")) {
       slot = &query->constraints.min_kulczynski;
+    } else if (PeekKeyword("minantsupp") || PeekKeyword("minantsupport")) {
+      slot = &query->constraints.min_antecedent_supp;
     } else {
       return Status::ParseError(
           "expected a HAVING threshold (minsupport, minconfidence, minlift, "
-          "mincosine, minkulczynski), got '" +
+          "mincosine, minkulczynski, minantsupp), got '" +
           Peek().text + "'");
     }
     Advance();

@@ -16,6 +16,8 @@ const char* CacheTierName(CacheTier tier) {
       return "exact";
     case CacheTier::kContainment:
       return "containment";
+    case CacheTier::kCompose:
+      return "compose";
   }
   return "?";
 }
@@ -145,6 +147,14 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind, const LocalizedQuery& query,
           static_cast<double>(stats_->num_attributes);
       rules_per *= std::pow(2.0, -pinned_est);
     }
+    if (cons.min_antecedent_supp > 0.0) {
+      // The antecedent floor prunes rule partitions before the confidence
+      // check; under uniform overlap the antecedent's local support tracks
+      // its global one, so the survival fraction comes straight off the
+      // stored support distribution — same machinery as minsupp.
+      rules_per *= stats_->FractionWithCountAtLeast(
+          MinCount(cons.min_antecedent_supp, stats_->num_records));
+    }
   }
 
   // Words per bitmap — the unit every kBitmap kernel is priced in.
@@ -165,6 +175,20 @@ PlanCostEstimate CostModel::Estimate(PlanKind kind, const LocalizedQuery& query,
   } else if (hint != nullptr && hint->tier == CacheTier::kContainment) {
     if (backend_ == ExecBackend::kBitmap) {
       est.select = hint->delta_attrs * (kAvgOrWidth + 1.0) * words *
+                       constants_.bitmap_word_ns +
+                   subset * constants_.select_record_ns;
+    } else {
+      est.select = hint->cached_size * constants_.select_record_ns;
+    }
+  } else if (hint != nullptr && hint->tier == CacheTier::kCompose) {
+    // Tier 2.5: combine `compose_sources` resident tid lists (union /
+    // difference / intersection) plus a residual delta filter. Bitmap
+    // prices one word pass per source; scalar walks the summed sorted
+    // runs (hint->cached_size). Like every SELECT reprice this is
+    // plan-uniform, so composition never sways which plan wins.
+    if (backend_ == ExecBackend::kBitmap) {
+      est.select = hint->compose_sources * words * constants_.bitmap_word_ns +
+                   hint->delta_attrs * (kAvgOrWidth + 1.0) * words *
                        constants_.bitmap_word_ns +
                    subset * constants_.select_record_ns;
     } else {

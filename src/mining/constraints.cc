@@ -83,7 +83,14 @@ Status RuleConstraints::Validate(const Schema& schema) const {
   if (!status.ok()) return status;
   status = ValidateMeasure(min_cosine, "mincosine");
   if (!status.ok()) return status;
-  return ValidateMeasure(min_kulczynski, "minkulczynski");
+  status = ValidateMeasure(min_kulczynski, "minkulczynski");
+  if (!status.ok()) return status;
+  status = ValidateMeasure(min_antecedent_supp, "minantsupp");
+  if (!status.ok()) return status;
+  if (min_antecedent_supp > 1.0) {
+    return Status::InvalidArgument("minantsupp must be at most 1");
+  }
+  return Status::OK();
 }
 
 std::string RuleConstraints::CacheKey() const {
@@ -100,6 +107,7 @@ std::string RuleConstraints::CacheKey() const {
   AppendDouble(&key, min_lift);
   AppendDouble(&key, min_cosine);
   AppendDouble(&key, min_kulczynski);
+  AppendDouble(&key, min_antecedent_supp);
   return key;
 }
 
@@ -126,6 +134,9 @@ std::string RuleConstraints::ToString(const Schema& schema) const {
   if (min_kulczynski > 0.0) {
     out += StrFormat(" AND minkulczynski=%.2f", min_kulczynski);
   }
+  if (min_antecedent_supp > 0.0) {
+    out += StrFormat(" AND minantsupp=%.2f", min_antecedent_supp);
+  }
   return out;
 }
 
@@ -144,6 +155,14 @@ bool ItemsetSatisfiesConstraints(std::span<const ItemId> items,
 
 bool PassesMeasureFloors(const RuleCounts& counts,
                          const RuleConstraints& constraints) {
+  // The antecedent floor is an exact integer comparison against the local
+  // threshold, mirroring the minsupport convention (MinCount of the focal
+  // subset), so every evaluation site agrees bit-for-bit.
+  if (constraints.min_antecedent_supp > 0.0 &&
+      counts.antecedent <
+          MinCount(constraints.min_antecedent_supp, counts.base)) {
+    return false;
+  }
   // Same slack as the minconfidence comparison, so a floor set to the
   // exact measure value of a rule keeps that rule.
   if (constraints.min_lift > 0.0 &&

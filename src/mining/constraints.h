@@ -21,7 +21,10 @@ namespace colarm {
 ///   - must_exclude:    M ∩ must_exclude = ∅;
 ///   - antecedent_only: items of these attributes may appear in X only;
 ///   - min_lift / min_cosine / min_kulczynski: measure floors (0 = off),
-///     compared with the same +1e-12 slack minconfidence uses.
+///     compared with the same +1e-12 slack minconfidence uses;
+///   - min_antecedent_supp: local-support floor on the antecedent alone
+///     (HAVING minantsupp): |DQ_X| >= MinCount(floor, |DQ|). An integer
+///     count comparison, so pushdown and post-filter agree bit-for-bit.
 ///
 /// An empty RuleConstraints leaves execution byte-identical to the
 /// unconstrained engine: every pushdown site is gated on Empty().
@@ -32,13 +35,15 @@ struct RuleConstraints {
   double min_lift = 0.0;
   double min_cosine = 0.0;
   double min_kulczynski = 0.0;
+  double min_antecedent_supp = 0.0;  // fraction of |DQ|, in [0, 1]
 
   bool HasItemConstraints() const {
     return !must_contain.empty() || !must_exclude.empty() ||
            !antecedent_only.empty();
   }
   bool HasMeasures() const {
-    return min_lift > 0.0 || min_cosine > 0.0 || min_kulczynski > 0.0;
+    return min_lift > 0.0 || min_cosine > 0.0 || min_kulczynski > 0.0 ||
+           min_antecedent_supp > 0.0;
   }
   bool Empty() const { return !HasItemConstraints() && !HasMeasures(); }
 

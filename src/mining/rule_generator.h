@@ -34,6 +34,11 @@ struct RuleGenFilter {
   double min_lift = 0.0;
   double min_cosine = 0.0;
   double min_kulczynski = 0.0;
+  /// HAVING minantsupp: antecedent partitions below
+  /// MinCount(min_antecedent_supp, base) are pruned before the
+  /// rules_considered tick. Deliberately not part of HasMeasures(): the
+  /// floor needs only the antecedent count, never the consequent's.
+  double min_antecedent_supp = 0.0;
 
   bool HasMeasures() const {
     return min_lift > 0.0 || min_cosine > 0.0 || min_kulczynski > 0.0;
@@ -65,6 +70,10 @@ void GenerateRulesForItemset(const Counter& counter, double minconf,
   const uint32_t base = counter.base_size();
   const uint32_t full_mask = (1u << len) - 1;
   const bool measures = filter.HasMeasures();
+  const uint32_t min_antecedent_count =
+      filter.min_antecedent_supp > 0.0
+          ? MinCount(filter.min_antecedent_supp, base)
+          : 0;
 
   Itemset antecedent;
   Itemset consequent;
@@ -74,7 +83,6 @@ void GenerateRulesForItemset(const Counter& counter, double minconf,
     // Pinned items belong in the antecedent: partitions that put one in the
     // consequent are pruned before they cost a count or a counter tick.
     if ((mask & filter.pinned_mask) != filter.pinned_mask) continue;
-    ++stats->rules_considered;
     antecedent.clear();
     consequent.clear();
     for (size_t i = 0; i < len; ++i) {
@@ -85,6 +93,11 @@ void GenerateRulesForItemset(const Counter& counter, double minconf,
       }
     }
     const uint32_t antecedent_count = counter.CountOf(antecedent);
+    // HAVING minantsupp prunes the partition before it counts as
+    // considered — pushdown strictly shrinks the enumeration the counters
+    // report, and exactly matches the post-filter's integer comparison.
+    if (antecedent_count < min_antecedent_count) continue;
+    ++stats->rules_considered;
     if (antecedent_count == 0) continue;
     const double confidence =
         static_cast<double>(itemset_count) / antecedent_count;

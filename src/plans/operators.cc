@@ -110,6 +110,7 @@ RuleGenFilter PlanContext::FilterForItemset(const Itemset& items) const {
   filter.min_lift = constraints.min_lift;
   filter.min_cosine = constraints.min_cosine;
   filter.min_kulczynski = constraints.min_kulczynski;
+  filter.min_antecedent_supp = constraints.min_antecedent_supp;
   if (!constraints.antecedent_only.empty()) {
     const Schema& schema = index.dataset().schema();
     // Positions past 31 cannot occur in enumeration (the generator skips
@@ -492,11 +493,10 @@ std::vector<QualifiedItemset> ArmMineFpGrowth(PlanContext* ctx,
   return qualified;
 }
 
-}  // namespace
-
-std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
+// The cold mining pass behind OpArmMine; its (deterministic) qualified set
+// and local-CFI tally are what the ARM memo records and replays.
+std::vector<QualifiedItemset> ArmMineCold(PlanContext* ctx) {
   std::vector<QualifiedItemset> qualified;
-  if (ctx->subset.tids.empty()) return qualified;
 
   // CONTAIN seeding: qualifying itemsets are supersets of must_contain, so
   // their supports within DQ equal their supports within the records of DQ
@@ -556,6 +556,45 @@ std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
     // Local support of a stored CFI = support of its local closure.
     uint32_t count = local_tree.MaxSupersetCount(ctx->index.mip(id).items);
     qualified.push_back({id, count});
+  }
+  return qualified;
+}
+
+}  // namespace
+
+std::vector<QualifiedItemset> OpArmMine(PlanContext* ctx) {
+  if (ctx->subset.tids.empty()) return {};
+  const bool memo = MemoActive(*ctx);
+  if (memo) {
+    auto hit = ctx->cache->ArmMemoLookup(ctx->memo_txn->box_key(),
+                                         ctx->memo_txn->constraint_key(),
+                                         ctx->local_min_count);
+    if (hit != nullptr) {
+      ctx->cache->NoteMemoServed();
+      // The replay charges the cold pass's only record-level price: the
+      // CONTAIN seeding scan over the focal subset.
+      if (ctx->item_constrained &&
+          !ctx->query.constraints.must_contain.empty()) {
+        ctx->record_checks += ctx->subset.tids.size();
+      }
+      ctx->local_cfis = hit->local_cfis;
+      std::vector<QualifiedItemset> qualified;
+      qualified.reserve(hit->qualified.size());
+      for (const auto& [id, count] : hit->qualified) {
+        qualified.push_back({id, count});
+      }
+      return qualified;
+    }
+  }
+  std::vector<QualifiedItemset> qualified = ArmMineCold(ctx);
+  if (memo) {
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    pairs.reserve(qualified.size());
+    for (const QualifiedItemset& q : qualified) {
+      pairs.emplace_back(q.mip_id, q.local_count);
+    }
+    ctx->memo_txn->RecordArmMine(ctx->local_min_count, ctx->local_cfis,
+                                 std::move(pairs));
   }
   return qualified;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "core/cache_persist.h"
 
 namespace colarm {
 
@@ -21,13 +22,15 @@ std::string RenderStatsPayload(const std::string& tenant_name,
       static_cast<unsigned long long>(stats.busy_rejections));
   if (telemetry != nullptr) {
     out += StrFormat(
-        "cache exact %llu containment %llu memo %llu misses %llu "
-        "evictions %llu bytes %llu entries %llu\n",
+        "cache exact %llu containment %llu compose %llu memo %llu "
+        "misses %llu evictions %llu admitrej %llu bytes %llu entries %llu\n",
         static_cast<unsigned long long>(telemetry->hits_exact),
         static_cast<unsigned long long>(telemetry->hits_containment),
+        static_cast<unsigned long long>(telemetry->hits_compose),
         static_cast<unsigned long long>(telemetry->hits_count_memo),
         static_cast<unsigned long long>(telemetry->misses),
         static_cast<unsigned long long>(telemetry->evictions),
+        static_cast<unsigned long long>(telemetry->admission_rejects),
         static_cast<unsigned long long>(telemetry->bytes),
         static_cast<unsigned long long>(telemetry->entries));
   } else {
@@ -55,8 +58,41 @@ std::shared_ptr<Tenant> Service::GetTenant(const std::string& name) {
   if (it != tenants_.end()) return it->second;
   auto tenant =
       std::make_shared<Tenant>(*engine_, name, options_.tenant_cache);
+  if (!options_.cache_dir.empty() && tenant->cache() != nullptr) {
+    // Warm start is strictly best-effort: a missing, corrupt, or
+    // index-mismatched file leaves the tenant on a cold cache.
+    (void)LoadQueryCache(engine_->index(), CachePathFor(name),
+                         tenant->cache());
+  }
   tenants_.emplace(name, tenant);
   return tenant;
+}
+
+std::string Service::CachePathFor(const std::string& tenant_name) const {
+  // Tenant names come off the wire; anything outside [A-Za-z0-9_-] is
+  // mapped to '_' so a hostile HELLO cannot traverse out of cache_dir.
+  std::string file;
+  file.reserve(tenant_name.size());
+  for (char c : tenant_name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    file.push_back(safe ? c : '_');
+  }
+  return options_.cache_dir + "/" + file + ".ccache";
+}
+
+size_t Service::PersistCaches() const {
+  if (options_.cache_dir.empty()) return 0;
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  size_t saved = 0;
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant->cache() == nullptr) continue;
+    if (SaveQueryCache(*tenant->cache(), engine_->index(), CachePathFor(name))
+            .ok()) {
+      ++saved;
+    }
+  }
+  return saved;
 }
 
 bool Service::Admit(Tenant* tenant) {

@@ -32,6 +32,11 @@ struct ServiceOptions {
   /// Per-request deadline in milliseconds; 0 = none. The clock starts at
   /// admission, so queue wait counts against it.
   double deadline_ms = 0.0;
+  /// Warm-start directory: when non-empty, each tenant's session cache is
+  /// loaded from `<cache_dir>/<tenant>.ccache` at creation (silently cold
+  /// on missing/corrupt/mismatched files) and PersistCaches() writes the
+  /// same files back at drain. Empty = no persistence.
+  std::string cache_dir;
 };
 
 /// Counters one tenant accumulates across its connections. Guarded by the
@@ -136,14 +141,22 @@ class Service {
   /// Telemetry hook for admission rejections (counts into STATS).
   void NoteBusy(Tenant* tenant);
 
+  /// Saves every tenant's cache into options().cache_dir (v4 format, one
+  /// file per tenant). Best-effort: returns how many tenants persisted
+  /// cleanly; no-op returning 0 when cache_dir is empty. Call at drain,
+  /// after the event loops stop.
+  size_t PersistCaches() const;
+
  private:
+  /// `<cache_dir>/<sanitized tenant name>.ccache`.
+  std::string CachePathFor(const std::string& tenant_name) const;
   std::string ExecuteSingleMine(Tenant* tenant, const MineRequest& request,
                                 const CancelToken* kill);
 
   const Engine* engine_;
   ServiceOptions options_;
 
-  std::mutex tenants_mutex_;
+  mutable std::mutex tenants_mutex_;
   std::map<std::string, std::shared_ptr<Tenant>> tenants_;
 
   std::atomic<uint64_t> inflight_{0};

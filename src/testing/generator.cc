@@ -159,6 +159,11 @@ void GenConstraints(Rng* rng, const Dataset& dataset, LocalizedQuery* query) {
         break;
     }
   }
+  if (rng->Bernoulli(0.3)) {
+    // HAVING minantsupp: exercised with boundary-heavy thresholds so the
+    // integer MinCount comparison hits exact-tie cases.
+    cons.min_antecedent_supp = GenThreshold(rng, dataset.num_records());
+  }
 }
 
 LocalizedQuery GenQuery(Rng* rng, const Dataset& dataset,

@@ -11,6 +11,7 @@
 #include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "core/cache_persist.h"
 #include "core/engine.h"
 #include "mining/constraints.h"
 #include "mip/serialize.h"
@@ -553,6 +554,115 @@ std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
         std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
       }
       for (size_t qi : shuffled) check_pass("shuffled", qi);
+    }
+  }
+
+  // Cache-persistence round-trip: run the sequence warm, save the session
+  // cache to the v4 file, load it into a FRESH engine, and replay. The
+  // persisted-warm pass must answer every query byte-identically to a
+  // cache-less engine — rules, effort counters, and plan choice — i.e. a
+  // restart with a warm file is semantically invisible.
+  if (options.check_cache_persistence) {
+    std::vector<size_t> valid;
+    for (size_t qi = 0; qi < fuzz_case.queries.size(); ++qi) {
+      if (fuzz_case.queries[qi].Validate(schema).ok()) valid.push_back(qi);
+    }
+    std::vector<ExecBackend> backends{ExecBackend::kScalar};
+    if (options.check_backends) backends.push_back(ExecBackend::kBitmap);
+    for (ExecBackend backend : backends) {
+      if (valid.empty()) break;
+      const char* backend_name =
+          backend == ExecBackend::kBitmap ? "bitmap" : "scalar";
+      EngineOptions cold_options;
+      cold_options.index.primary_support = fuzz_case.primary_support;
+      cold_options.rulegen = rulegen;
+      cold_options.calibrate = false;
+      cold_options.backend = backend;
+      cold_options.num_threads = 1;
+      auto cold_engine = Engine::Build(dataset, cold_options);
+      EngineOptions warm_options = cold_options;
+      warm_options.cache.enabled = true;
+      auto warm_engine = Engine::Build(dataset, warm_options);
+      auto fresh_engine = Engine::Build(dataset, warm_options);
+      if (!cold_engine.ok() || !warm_engine.ok() || !fresh_engine.ok()) {
+        fail("cache-persistence", 0,
+             StrFormat("%s engine build failed", backend_name));
+        continue;
+      }
+
+      std::vector<QueryResult> cold_results(fuzz_case.queries.size());
+      bool engines_ok = true;
+      for (size_t qi : valid) {
+        auto cold = (*cold_engine)->Execute(fuzz_case.queries[qi]);
+        auto warm = (*warm_engine)->Execute(fuzz_case.queries[qi]);
+        if (!cold.ok() || !warm.ok()) {
+          fail("cache-persistence", qi,
+               StrFormat("%s populate: %s", backend_name,
+                         (!cold.ok() ? cold.status() : warm.status())
+                             .ToString()
+                             .c_str()));
+          engines_ok = false;
+          break;
+        }
+        cold_results[qi] = std::move(cold.value());
+      }
+      if (!engines_ok) continue;
+
+      const std::filesystem::path cache_dump =
+          std::filesystem::temp_directory_path() /
+          StrFormat("colarm_fuzz_cache_%d_%llu_%s.ccache",
+                    static_cast<int>(getpid()),
+                    static_cast<unsigned long long>(fuzz_case.seed),
+                    backend_name);
+      Status saved = SaveQueryCache(*(*warm_engine)->cache(),
+                                    (*warm_engine)->index(),
+                                    cache_dump.string());
+      if (!saved.ok()) {
+        fail("cache-persistence", 0,
+             StrFormat("%s save failed: %s", backend_name,
+                       saved.ToString().c_str()));
+        continue;
+      }
+      Status restored =
+          LoadQueryCache((*fresh_engine)->index(), cache_dump.string(),
+                         (*fresh_engine)->cache());
+      std::remove(cache_dump.string().c_str());
+      if (!restored.ok()) {
+        fail("cache-persistence", 0,
+             StrFormat("%s load failed: %s", backend_name,
+                       restored.ToString().c_str()));
+        continue;
+      }
+
+      for (size_t qi : valid) {
+        auto warm = (*fresh_engine)->Execute(fuzz_case.queries[qi]);
+        const QueryResult& cold = cold_results[qi];
+        if (!warm.ok()) {
+          fail("cache-persistence", qi,
+               StrFormat("%s replay: %s", backend_name,
+                         warm.status().ToString().c_str()));
+          continue;
+        }
+        if (!warm->rules.SameAs(cold.rules)) {
+          fail("cache-persistence", qi,
+               StrFormat("%s replay: %s", backend_name,
+                         DiffRuleSets(schema, warm->rules, cold.rules)
+                             .c_str()));
+        }
+        std::string effort = DiffEffort(warm->stats, cold.stats);
+        if (!effort.empty()) {
+          fail("cache-persistence", qi,
+               StrFormat("%s replay effort: %s", backend_name,
+                         effort.c_str()));
+        }
+        if (warm->plan_used != cold.plan_used ||
+            warm->decision.chosen != cold.decision.chosen) {
+          fail("cache-persistence", qi,
+               StrFormat("%s replay: plan %s vs cold %s", backend_name,
+                         PlanKindName(warm->plan_used),
+                         PlanKindName(cold.plan_used)));
+        }
+      }
     }
   }
 

@@ -46,6 +46,11 @@ struct CheckOptions {
   /// other invariant already cross-checks each backend / thread / SIMD /
   /// cache variant against the constrained baseline.
   bool check_constraints = true;
+  /// Cache-persistence round-trip: run the sequence warm, save the session
+  /// cache (v4 file), load it into a fresh engine, and replay — the
+  /// persisted-warm pass must answer every query byte-identically (rules,
+  /// effort counters, plan choice) to a cache-less engine.
+  bool check_cache_persistence = true;
   OracleOptions oracle;
 };
 
@@ -73,6 +78,9 @@ struct CheckOptions {
 ///   constraint-equivalence  constraints pushed into execution return
 ///                       exactly FilterRules(unconstrained twin) — the
 ///                       post-filter reference semantics
+///   cache-persistence   save -> load -> replay of the session cache
+///                       answers every query exactly like a cache-less
+///                       engine (rules, effort counters, plan choice)
 std::vector<Violation> CheckCase(const FuzzCase& fuzz_case,
                                  const CheckOptions& options = {});
 

@@ -20,7 +20,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
           --target bitmap_test kernels_test backend_equivalence_test
-                  constraint_test
+                  constraint_test query_cache_test cache_persist_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "ASan build failed")
@@ -31,7 +31,7 @@ endif()
 # it gets the same memory-safety gate as the vector paths.
 foreach(level "" scalar)
   foreach(test bitmap_test kernels_test backend_equivalence_test
-                 constraint_test)
+                 constraint_test query_cache_test cache_persist_test)
     execute_process(
       COMMAND ${CMAKE_COMMAND} -E env COLARM_SIMD=${level}
               ${BUILD_DIR}/tests/${test}

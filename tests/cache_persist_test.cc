@@ -1,0 +1,307 @@
+// Persistence-format v4 hardening tests for the session cache, mirroring
+// the serialize v3 discipline: a full-state round trip, truncation at
+// every offset, a single-bit-flip sweep over the whole file, bounded
+// counts, version/fingerprint rejection, and clean cold fallback on every
+// failure.
+#include "core/cache_persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "test_util.h"
+
+namespace colarm {
+namespace {
+
+using testing_util::RandomDataset;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+struct Env {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<MipIndex> index;
+
+  static Env Make(uint64_t seed, uint32_t records = 250, uint32_t attrs = 5,
+                  uint32_t domain = 4) {
+    Env env;
+    env.data =
+        std::make_unique<Dataset>(RandomDataset(seed, records, attrs, domain));
+    auto built = MipIndex::Build(*env.data, {.primary_support = 0.2});
+    EXPECT_TRUE(built.ok());
+    env.index = std::make_unique<MipIndex>(std::move(built.value()));
+    return env;
+  }
+
+  Rect Box(std::vector<RangeSelection> ranges) const {
+    LocalizedQuery query;
+    query.ranges = std::move(ranges);
+    return query.ToRect(data->schema());
+  }
+};
+
+QueryCacheOptions Enabled() {
+  QueryCacheOptions options;
+  options.enabled = true;
+  options.byte_budget = size_t{64} << 20;
+  return options;
+}
+
+/// Populates `cache` with a mix of state the format must carry: a cold
+/// entry, a containment-derived entry (giving the source a derivation and
+/// 2Q promotion), an exact hit (per-entry hit count), and a committed
+/// count memo holding both a full-count and a table record.
+void Populate(const Env& env, QueryCache* cache) {
+  uint64_t ignored = 0;
+  Rect outer = env.Box({{0, 0, 2}});
+  Rect inner = env.Box({{0, 0, 1}, {2, 0, 1}});
+  cache->Acquire(outer, ExecBackend::kScalar, nullptr, &ignored);
+  cache->Acquire(inner, ExecBackend::kScalar, nullptr, &ignored);
+  cache->Acquire(inner, ExecBackend::kScalar, nullptr, &ignored);  // exact hit
+  auto txn = cache->BeginTxn(inner);
+  txn->RecordFull(2, 9);
+  txn->RecordTable(5, 17, std::vector<uint32_t>{40, 30, 21, 17});
+  cache->Commit(txn.get());
+}
+
+TEST(CachePersistTest, RoundTripPreservesEntries) {
+  Env env = Env::Make(21);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_roundtrip.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+
+  QueryCache reloaded(*env.index, Enabled());
+  Status loaded = LoadQueryCache(*env.index, path, &reloaded);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+
+  const auto before = cache.Snapshot();
+  const auto after = reloaded.Snapshot();
+  ASSERT_EQ(after.size(), before.size());
+  ASSERT_GT(before.size(), 0u);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].box, before[i].box) << "entry " << i;
+    EXPECT_EQ(after[i].subset->tids, before[i].subset->tids) << "entry " << i;
+    EXPECT_EQ(after[i].is_protected, before[i].is_protected) << "entry " << i;
+    EXPECT_EQ(after[i].hits, before[i].hits) << "entry " << i;
+    EXPECT_EQ(after[i].derivations, before[i].derivations) << "entry " << i;
+    ASSERT_EQ(after[i].memos.size(), before[i].memos.size()) << "entry " << i;
+    for (size_t m = 0; m < before[i].memos.size(); ++m) {
+      EXPECT_EQ(after[i].memos[m].first, before[i].memos[m].first);
+      EXPECT_EQ(after[i].memos[m].second->full_count,
+                before[i].memos[m].second->full_count);
+      EXPECT_EQ(after[i].memos[m].second->superset_counts,
+                before[i].memos[m].second->superset_counts);
+    }
+  }
+  // Byte accounting is recomputed, not trusted from the file, and must
+  // land on the identical resident footprint.
+  EXPECT_EQ(reloaded.telemetry().bytes, cache.telemetry().bytes);
+  EXPECT_EQ(reloaded.telemetry().entries, cache.telemetry().entries);
+
+  // The warm cache serves the persisted boxes as exact hits and replays
+  // the memo without recounting.
+  EXPECT_EQ(reloaded.Probe(env.Box({{0, 0, 2}})).tier, CacheTier::kExact);
+  Rect inner = env.Box({{0, 0, 1}, {2, 0, 1}});
+  EXPECT_EQ(reloaded.Probe(inner).tier, CacheTier::kExact);
+  auto memo = reloaded.MemoLookup(CanonicalBoxKey(inner), "", 5);
+  ASSERT_NE(memo, nullptr);
+  EXPECT_EQ(memo->full_count, 17u);
+  EXPECT_EQ(memo->superset_counts, (std::vector<uint32_t>{40, 30, 21, 17}));
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistTest, EmptyCacheRoundTrips) {
+  Env env = Env::Make(22, 60, 3, 3);
+  QueryCache cache(*env.index, Enabled());
+  const std::string path = TempPath("cache_empty.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+  QueryCache reloaded(*env.index, Enabled());
+  Status loaded = LoadQueryCache(*env.index, path, &reloaded);
+  EXPECT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_EQ(reloaded.telemetry().entries, 0u);
+  EXPECT_EQ(reloaded.telemetry().bytes, 0u);
+  std::remove(path.c_str());
+}
+
+// A prefix of any length must fail with a clean Status and leave the
+// target cache untouched — the warm-restart path degrades to cold.
+TEST(CachePersistTest, TruncationAtEveryOffsetFailsCleanly) {
+  Env env = Env::Make(23, 60, 3, 3);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_truncate.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+  const std::string full = Slurp(path);
+  ASSERT_GT(full.size(), 32u);
+
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    Spit(path, full.substr(0, keep));
+    QueryCache fresh(*env.index, Enabled());
+    Status loaded = LoadQueryCache(*env.index, path, &fresh);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes loaded";
+    EXPECT_EQ(fresh.telemetry().entries, 0u) << "prefix of " << keep;
+  }
+  Spit(path, full);
+  QueryCache fresh(*env.index, Enabled());
+  EXPECT_TRUE(LoadQueryCache(*env.index, path, &fresh).ok());
+  std::remove(path.c_str());
+}
+
+// Flipping any single bit must be rejected: header flips structurally,
+// padding by the zero check, payloads by the per-section checksum, the
+// trailing checksum by its own mismatch.
+TEST(CachePersistTest, SingleBitFlipsAreAlwaysRejected) {
+  Env env = Env::Make(24, 40, 3, 3);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_bitflip.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+  const std::string full = Slurp(path);
+
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = full;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      Spit(path, flipped);
+      QueryCache fresh(*env.index, Enabled());
+      Status loaded = LoadQueryCache(*env.index, path, &fresh);
+      EXPECT_FALSE(loaded.ok())
+          << "flip of bit " << bit << " in byte " << byte << " loaded";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// A cache saved against one index must not load against another: the
+// engine rebuilt (different data or options) means every tid is suspect.
+TEST(CachePersistTest, FingerprintMismatchFallsBackCold) {
+  Env env = Env::Make(25, 80, 4, 3);
+  Env other = Env::Make(26, 80, 4, 3);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_fingerprint.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+
+  QueryCache fresh(*other.index, Enabled());
+  Status loaded = LoadQueryCache(*other.index, path, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.ToString().find("different index"), std::string::npos)
+      << loaded.ToString();
+  EXPECT_EQ(fresh.telemetry().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistTest, WrongMagicIsNotACacheFile) {
+  Env env = Env::Make(27, 40, 3, 3);
+  const std::string path = TempPath("cache_magic.ccache");
+  Spit(path, "definitely not a session cache, but long enough to read");
+  QueryCache fresh(*env.index, Enabled());
+  Status loaded = LoadQueryCache(*env.index, path, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.ToString().find("is not a COLARM cache file"),
+            std::string::npos)
+      << loaded.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistTest, WrongVersionIsRejected) {
+  Env env = Env::Make(28, 40, 3, 3);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_version.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+  std::string full = Slurp(path);
+  const uint32_t old_version = 3;  // the version field sits after the magic
+  std::memcpy(&full[4], &old_version, sizeof(old_version));
+  Spit(path, full);
+  QueryCache fresh(*env.index, Enabled());
+  Status loaded = LoadQueryCache(*env.index, path, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.ToString().find("unsupported cache version"),
+            std::string::npos)
+      << loaded.ToString();
+  std::remove(path.c_str());
+}
+
+// An entry count inflated far beyond what the file holds must be bounded
+// before the loader allocates anything for the claimed entries.
+TEST(CachePersistTest, HugeEntryCountIsRejectedBeforeAllocation) {
+  Env env = Env::Make(29, 40, 3, 3);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_huge_count.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+  std::string full = Slurp(path);
+  const uint32_t huge = 0xfffffff0u;  // entry_count sits at offset 20
+  std::memcpy(&full[20], &huge, sizeof(huge));
+  Spit(path, full);
+  QueryCache fresh(*env.index, Enabled());
+  Status loaded = LoadQueryCache(*env.index, path, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistTest, TrailingGarbageIsRejected) {
+  Env env = Env::Make(30, 40, 3, 3);
+  QueryCache cache(*env.index, Enabled());
+  Populate(env, &cache);
+  const std::string path = TempPath("cache_trailing.ccache");
+  ASSERT_TRUE(SaveQueryCache(cache, *env.index, path).ok());
+  Spit(path, Slurp(path) + "x");
+  QueryCache fresh(*env.index, Enabled());
+  EXPECT_FALSE(LoadQueryCache(*env.index, path, &fresh).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistTest, MissingFileFails) {
+  Env env = Env::Make(31, 40, 3, 3);
+  QueryCache fresh(*env.index, Enabled());
+  Status loaded = LoadQueryCache(
+      *env.index, TempPath("cache_does_not_exist.ccache"), &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kIoError);
+}
+
+// A load replaces prior residency wholesale (like Clear + insert), so a
+// stale warm state cannot leak through a restore.
+TEST(CachePersistTest, LoadReplacesExistingResidency) {
+  Env env = Env::Make(32);
+  QueryCache source(*env.index, Enabled());
+  Populate(env, &source);
+  const std::string path = TempPath("cache_replace.ccache");
+  ASSERT_TRUE(SaveQueryCache(source, *env.index, path).ok());
+
+  QueryCache target(*env.index, Enabled());
+  uint64_t ignored = 0;
+  Rect stale = env.Box({{1, 0, 1}});
+  target.Acquire(stale, ExecBackend::kScalar, nullptr, &ignored);
+  ASSERT_EQ(target.Probe(stale).tier, CacheTier::kExact);
+
+  ASSERT_TRUE(LoadQueryCache(*env.index, path, &target).ok());
+  EXPECT_EQ(target.Probe(stale).tier, CacheTier::kNone);
+  EXPECT_EQ(target.telemetry().entries, source.telemetry().entries);
+  EXPECT_EQ(target.telemetry().bytes, source.telemetry().bytes);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace colarm

@@ -298,6 +298,100 @@ TEST(ConstraintTest, KulczynskiFloorIsRatioExact) {
                        &RuleConstraints::min_kulczynski, &Kulczynski);
 }
 
+// HAVING minantsupp: the antecedent-support floor pushed into rule
+// generation must equal the post-filter reference on every plan, and the
+// generator must prune floored antecedents *before* the rules_considered
+// counter (cheaper than confidence, so it runs first).
+TEST(ConstraintTest, AntecedentSupportFloorMatchesPostFilter) {
+  for (uint64_t seed : {151u, 152u, 153u}) {
+    Dataset data = RandomDataset(seed, 90, 4, 3);
+    auto index = MipIndex::Build(data, {.primary_support = 0.2});
+    ASSERT_TRUE(index.ok());
+    LocalizedQuery query = BaseQuery();
+    query.constraints.min_antecedent_supp = 0.45;
+    ASSERT_TRUE(query.Validate(data.schema()).ok());
+    ExpectAllPlansMatchFiltered(*index, query);
+
+    LocalizedQuery twin = query;
+    twin.constraints = RuleConstraints{};
+    auto constrained =
+        ExecutePlan(PlanKind::kSEV, *index, query, WideRuleGen());
+    auto unconstrained =
+        ExecutePlan(PlanKind::kSEV, *index, twin, WideRuleGen());
+    ASSERT_TRUE(constrained.ok() && unconstrained.ok());
+    EXPECT_LE(constrained->stats.rules_considered,
+              unconstrained->stats.rules_considered);
+    for (const Rule& rule : constrained->rules.rules) {
+      EXPECT_GE(rule.antecedent_count,
+                MinCount(query.constraints.min_antecedent_supp,
+                         rule.base_count));
+    }
+  }
+}
+
+// The floor is count-exact (integer MinCount semantics, like minsupport):
+// a floor sitting exactly on a rule's antecedent support keeps it, the
+// next representable step above drops it.
+TEST(ConstraintTest, AntecedentSupportFloorIsCountExact) {
+  Dataset data = RandomDataset(154, 90, 4, 3);
+  auto index = MipIndex::Build(data, {.primary_support = 0.2});
+  ASSERT_TRUE(index.ok());
+  const LocalizedQuery base = BaseQuery();
+  auto unconstrained =
+      ExecutePlan(PlanKind::kSEV, *index, base, WideRuleGen());
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_FALSE(unconstrained->rules.rules.empty());
+
+  const Rule* pick = nullptr;
+  for (const Rule& rule : unconstrained->rules.rules) {
+    if (pick == nullptr || rule.antecedent_count > pick->antecedent_count) {
+      pick = &rule;
+    }
+  }
+  ASSERT_NE(pick, nullptr);
+  const double n = static_cast<double>(pick->base_count);
+
+  LocalizedQuery exact = base;
+  exact.constraints.min_antecedent_supp =
+      static_cast<double>(pick->antecedent_count) / n;
+  ExpectAllPlansMatchFiltered(*index, exact);
+  auto kept = ExecutePlan(PlanKind::kSEV, *index, exact, WideRuleGen());
+  ASSERT_TRUE(kept.ok());
+  EXPECT_TRUE(ContainsRule(kept->rules, *pick))
+      << "rule dropped at floor == its exact antecedent support";
+
+  LocalizedQuery above = base;
+  above.constraints.min_antecedent_supp =
+      (static_cast<double>(pick->antecedent_count) + 0.5) / n;
+  ExpectAllPlansMatchFiltered(*index, above);
+  auto dropped = ExecutePlan(PlanKind::kSEV, *index, above, WideRuleGen());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_FALSE(ContainsRule(dropped->rules, *pick))
+      << "rule survived a floor above its antecedent support";
+}
+
+TEST(ConstraintTest, AntecedentSupportFloorValidationAndCacheKey) {
+  Dataset data = RandomDataset(155, 60, 4, 3);
+  RuleConstraints floor;
+  floor.min_antecedent_supp = 0.3;
+  EXPECT_TRUE(floor.Validate(data.schema()).ok());
+  EXPECT_TRUE(floor.HasMeasures());
+  EXPECT_FALSE(floor.Empty());
+
+  RuleConstraints over;
+  over.min_antecedent_supp = 1.5;  // a support fraction cannot exceed 1
+  EXPECT_FALSE(over.Validate(data.schema()).ok());
+  RuleConstraints negative;
+  negative.min_antecedent_supp = -0.1;
+  EXPECT_FALSE(negative.Validate(data.schema()).ok());
+
+  // Distinct floors key distinct memo namespaces in the session cache.
+  EXPECT_NE(floor.CacheKey(), RuleConstraints{}.CacheKey());
+  RuleConstraints other;
+  other.min_antecedent_supp = 0.4;
+  EXPECT_NE(floor.CacheKey(), other.CacheKey());
+}
+
 // Combined constraint sets across several seeds and focal boxes — the
 // small deterministic sweep the sanitizer tiers replay.
 TEST(ConstraintTest, CombinedConstraintSweepMatchesPostFilter) {
@@ -313,6 +407,7 @@ TEST(ConstraintTest, CombinedConstraintSweepMatchesPostFilter) {
     query.constraints.must_exclude = {data.schema().ItemOf(2, 2)};
     query.constraints.antecedent_only = {3};
     query.constraints.min_kulczynski = 0.4;
+    query.constraints.min_antecedent_supp = 0.3;
     ASSERT_TRUE(query.Validate(data.schema()).ok());
     ExpectAllPlansMatchFiltered(*index, query);
   }

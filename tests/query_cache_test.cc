@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "test_util.h"
 
@@ -242,6 +244,312 @@ TEST(QueryCacheTest, ClearDropsResidencyButKeepsTotals) {
   EXPECT_EQ(t.bytes, 0u);
   EXPECT_EQ(t.entries, 0u);
   EXPECT_EQ(t.misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Tier 2.5: cost-gated composition from overlapping resident boxes.
+// ---------------------------------------------------------------------
+
+/// Fully deterministic relation where each cell is a pure function of
+/// (record, attribute) — lets the tests below pick subset sizes that make
+/// the compose cost gate provably fire (or provably refuse).
+Dataset CraftedDataset(uint32_t records, uint32_t n_attrs, uint32_t domain,
+                       const std::function<ValueId(uint32_t, AttrId)>& value) {
+  std::vector<Attribute> attrs;
+  for (uint32_t a = 0; a < n_attrs; ++a) {
+    Attribute attr;
+    attr.name = "a" + std::to_string(a);
+    for (uint32_t v = 0; v < domain; ++v) {
+      attr.values.push_back("v" + std::to_string(v));
+    }
+    attrs.push_back(std::move(attr));
+  }
+  Dataset dataset{Schema(std::move(attrs))};
+  std::vector<ValueId> record(n_attrs);
+  for (uint32_t r = 0; r < records; ++r) {
+    for (uint32_t a = 0; a < n_attrs; ++a) record[a] = value(r, a);
+    Status st = dataset.AddRecord(record);
+    if (!st.ok()) std::abort();
+  }
+  return dataset;
+}
+
+struct CraftedEnv {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<MipIndex> index;
+
+  static CraftedEnv Make(Dataset dataset) {
+    CraftedEnv env;
+    env.data = std::make_unique<Dataset>(std::move(dataset));
+    auto built = MipIndex::Build(*env.data, {.primary_support = 0.2});
+    EXPECT_TRUE(built.ok());
+    env.index = std::make_unique<MipIndex>(std::move(built.value()));
+    return env;
+  }
+
+  Rect Box(std::vector<RangeSelection> ranges) const {
+    LocalizedQuery query;
+    query.ranges = std::move(ranges);
+    return query.ToRect(data->schema());
+  }
+};
+
+/// 250 records, 5 attributes, domain 4. Attribute 0 splits 60 / 40 / 150
+/// across [0,1] / {2} / {3}, so with W=[0,2] (100 tids) and S=[2,2] (40
+/// tids) resident, Q=[0,1] prices difference at 100+40=140 — strictly
+/// under both the containment filter (100x2=200) and the cold scan (250).
+/// Attribute 1 never takes value 3, so [0,2] on that axis is a constrained
+/// box covering all 250 records: any slab union prices exactly at the cold
+/// scan and the strict `<` gate must refuse it.
+Dataset DifferenceDataset() {
+  return CraftedDataset(250, 5, 4, [](uint32_t rec, AttrId attr) -> ValueId {
+    if (attr == 0) {
+      if (rec < 60) return static_cast<ValueId>(rec % 2);
+      return rec < 100 ? 2 : 3;
+    }
+    if (attr == 1) return static_cast<ValueId>(rec % 3);
+    return static_cast<ValueId>(rec % 2);
+  });
+}
+
+/// 250 records, 5 attributes, domain 4, built so that for A = attrs 0-2 in
+/// [0,1] (31 tids) and B = attrs 3-4 in [0,1] (28 tids), the query box
+/// Q = A's box meet B's box holds exactly 20 records. Intersecting prices
+/// at 31+28+min(31,28)x1 = 87, strictly under every single-source filter
+/// (filtering A re-tests 2 attrs: 31x3=93; the planner's pick is the
+/// smallest containing subset, B, at 28x4=112) and the cold scan (250).
+Dataset IntersectDataset() {
+  return CraftedDataset(250, 5, 4, [](uint32_t rec, AttrId attr) -> ValueId {
+    if (rec < 20) return static_cast<ValueId>(rec % 2);   // in A, B, and Q
+    if (rec < 31) return attr < 3 ? static_cast<ValueId>(rec % 2) : 3;  // A only
+    if (rec < 39) return attr < 3 ? 3 : static_cast<ValueId>(rec % 2);  // B only
+    return static_cast<ValueId>(2 + rec % 2);             // outside both
+  });
+}
+
+class ComposeTest : public ::testing::TestWithParam<ExecBackend> {};
+
+TEST_P(ComposeTest, UnionAssemblesAdjacentSlabs) {
+  const ExecBackend backend = GetParam();
+  Env env = Env::Make(11);
+  QueryCache cache(*env.index, Enabled());
+  uint64_t ignored = 0;
+  cache.Acquire(env.Box({{0, 0, 1}}), backend, nullptr, &ignored);
+  cache.Acquire(env.Box({{0, 2, 2}}), backend, nullptr, &ignored);
+
+  Rect q = env.Box({{0, 0, 2}});
+  FocalSubset expected = FocalSubset::Materialize(*env.data, q);
+  // The union prices below the cold scan only because records fall outside
+  // [0,2] on attribute 0; the skewed generator makes that certain here.
+  ASSERT_LT(expected.tids.size(), env.data->num_records());
+
+  CacheHint hint = cache.Probe(q);
+  ASSERT_EQ(hint.tier, CacheTier::kCompose);
+  EXPECT_EQ(hint.compose_sources, 2u);
+  // Disjoint slabs tiling q: the summed runs are exactly |T_q|.
+  EXPECT_EQ(hint.cached_size, static_cast<double>(expected.tids.size()));
+
+  uint64_t checks = 0;
+  auto lease = cache.Acquire(q, backend, nullptr, &checks);
+  EXPECT_EQ(lease.tier, CacheTier::kCompose);
+  EXPECT_EQ(checks, env.data->num_records());  // warm charges the cold price
+  EXPECT_EQ(lease.subset.tids, expected.tids);
+  EXPECT_EQ(cache.telemetry().hits_compose, 1u);
+  // The composed subset is itself resident now.
+  EXPECT_EQ(cache.Probe(q).tier, CacheTier::kExact);
+}
+
+TEST_P(ComposeTest, DifferenceSubtractsComplementSlab) {
+  const ExecBackend backend = GetParam();
+  CraftedEnv env = CraftedEnv::Make(DifferenceDataset());
+  QueryCache cache(*env.index, Enabled());
+  uint64_t ignored = 0;
+  // Slab first, outer second, so neither acquisition derives from the
+  // other and both land as independent cold entries.
+  cache.Acquire(env.Box({{0, 2, 2}}), backend, nullptr, &ignored);
+  cache.Acquire(env.Box({{0, 0, 2}}), backend, nullptr, &ignored);
+  ASSERT_EQ(cache.telemetry().misses, 2u);
+
+  Rect q = env.Box({{0, 0, 1}});
+  CacheHint hint = cache.Probe(q);
+  ASSERT_EQ(hint.tier, CacheTier::kCompose);
+  EXPECT_EQ(hint.compose_sources, 2u);   // outer + one complement slab
+  EXPECT_EQ(hint.cached_size, 140.0);    // |T_W| + |T_S| = 100 + 40
+
+  auto lease = cache.Acquire(q, backend, nullptr, &ignored);
+  EXPECT_EQ(lease.tier, CacheTier::kCompose);
+  FocalSubset expected = FocalSubset::Materialize(*env.data, q);
+  ASSERT_EQ(expected.tids.size(), 60u);
+  EXPECT_EQ(lease.subset.tids, expected.tids);
+  EXPECT_EQ(cache.telemetry().hits_compose, 1u);
+
+  // Both sources earned derivation credit (and with it, 2Q promotion).
+  uint64_t derivations = 0;
+  for (const auto& entry : cache.Snapshot()) derivations += entry.derivations;
+  EXPECT_EQ(derivations, 2u);
+}
+
+TEST_P(ComposeTest, IntersectionMeetsAtTheQueryBox) {
+  const ExecBackend backend = GetParam();
+  CraftedEnv env = CraftedEnv::Make(IntersectDataset());
+  QueryCache cache(*env.index, Enabled());
+  uint64_t ignored = 0;
+  auto a = cache.Acquire(env.Box({{0, 0, 1}, {1, 0, 1}, {2, 0, 1}}), backend,
+                         nullptr, &ignored);
+  auto b = cache.Acquire(env.Box({{3, 0, 1}, {4, 0, 1}}), backend, nullptr,
+                         &ignored);
+  ASSERT_EQ(a.subset.tids.size(), 31u);
+  ASSERT_EQ(b.subset.tids.size(), 28u);
+  ASSERT_EQ(cache.telemetry().misses, 2u);
+
+  // Q is exactly the meet of the two resident boxes: zero residual attrs,
+  // so the AND of the tid lists needs no re-testing at all.
+  Rect q = env.Box({{0, 0, 1}, {1, 0, 1}, {2, 0, 1}, {3, 0, 1}, {4, 0, 1}});
+  CacheHint hint = cache.Probe(q);
+  ASSERT_EQ(hint.tier, CacheTier::kCompose);
+  EXPECT_EQ(hint.compose_sources, 2u);
+  EXPECT_EQ(hint.delta_attrs, 0u);
+  EXPECT_EQ(hint.cached_size, 87.0);  // 31 + 28 + min(31,28) * (0+1)
+
+  auto lease = cache.Acquire(q, backend, nullptr, &ignored);
+  EXPECT_EQ(lease.tier, CacheTier::kCompose);
+  FocalSubset expected = FocalSubset::Materialize(*env.data, q);
+  ASSERT_EQ(expected.tids.size(), 20u);
+  EXPECT_EQ(lease.subset.tids, expected.tids);
+  EXPECT_EQ(cache.telemetry().hits_compose, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ComposeTest,
+                         ::testing::Values(ExecBackend::kScalar,
+                                           ExecBackend::kBitmap));
+
+TEST(QueryCacheComposeTest, CostGateRefusesBreakEvenUnion) {
+  CraftedEnv env = CraftedEnv::Make(DifferenceDataset());
+  QueryCache cache(*env.index, Enabled());
+  uint64_t ignored = 0;
+  cache.Acquire(env.Box({{1, 0, 1}}), ExecBackend::kScalar, nullptr, &ignored);
+  cache.Acquire(env.Box({{1, 2, 2}}), ExecBackend::kScalar, nullptr, &ignored);
+
+  // Attribute 1 never takes value 3, so [0,2] is a constrained box that
+  // still covers every record: the resident slabs tile it geometrically,
+  // but their summed runs equal the cold scan and the gate demands
+  // strictly cheaper. The probe must fall through to a plain miss.
+  Rect q = env.Box({{1, 0, 2}});
+  ASSERT_EQ(FocalSubset::Materialize(*env.data, q).tids.size(),
+            env.data->num_records());
+  EXPECT_EQ(cache.Probe(q).tier, CacheTier::kNone);
+
+  auto lease = cache.Acquire(q, ExecBackend::kScalar, nullptr, &ignored);
+  EXPECT_EQ(lease.tier, CacheTier::kNone);
+  EXPECT_EQ(cache.telemetry().hits_compose, 0u);
+  EXPECT_EQ(cache.telemetry().misses, 3u);
+}
+
+TEST(QueryCacheComposeTest, DeterministicAcrossBackendsAndPools) {
+  CraftedEnv env = CraftedEnv::Make(DifferenceDataset());
+  struct Outcome {
+    std::vector<std::vector<Tid>> tids;
+    CacheTelemetry telemetry;
+  };
+  // Exercises miss, containment (S from W), difference compose, and an
+  // exact hit — through the scalar merges and the word-parallel bitmap
+  // kernels at several pool widths. State and bytes must not depend on
+  // the execution route.
+  auto run = [&](ExecBackend backend, ThreadPool* pool) {
+    QueryCache cache(*env.index, Enabled());
+    uint64_t ignored = 0;
+    Outcome out;
+    for (const auto& ranges : {std::vector<RangeSelection>{{0, 0, 2}},
+                               std::vector<RangeSelection>{{0, 2, 2}},
+                               std::vector<RangeSelection>{{0, 0, 1}},
+                               std::vector<RangeSelection>{{0, 0, 2}}}) {
+      out.tids.push_back(
+          cache.Acquire(env.Box(ranges), backend, pool, &ignored).subset.tids);
+    }
+    out.telemetry = cache.telemetry();
+    return out;
+  };
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  const Outcome base = run(ExecBackend::kScalar, nullptr);
+  EXPECT_EQ(base.telemetry.misses, 1u);
+  EXPECT_EQ(base.telemetry.hits_containment, 1u);
+  EXPECT_EQ(base.telemetry.hits_compose, 1u);
+  EXPECT_EQ(base.telemetry.hits_exact, 1u);
+  std::vector<Outcome> variants;
+  variants.push_back(run(ExecBackend::kBitmap, nullptr));
+  variants.push_back(run(ExecBackend::kBitmap, &pool2));
+  variants.push_back(run(ExecBackend::kBitmap, &pool8));
+  for (const Outcome& variant : variants) {
+    EXPECT_EQ(variant.tids, base.tids);
+    EXPECT_EQ(variant.telemetry.hits_exact, base.telemetry.hits_exact);
+    EXPECT_EQ(variant.telemetry.hits_containment,
+              base.telemetry.hits_containment);
+    EXPECT_EQ(variant.telemetry.hits_compose, base.telemetry.hits_compose);
+    EXPECT_EQ(variant.telemetry.misses, base.telemetry.misses);
+    EXPECT_EQ(variant.telemetry.evictions, base.telemetry.evictions);
+    EXPECT_EQ(variant.telemetry.admission_rejects,
+              base.telemetry.admission_rejects);
+    EXPECT_EQ(variant.telemetry.bytes, base.telemetry.bytes);
+    EXPECT_EQ(variant.telemetry.entries, base.telemetry.entries);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scan-resistant admission: TinyLFU sketch + 2Q segments.
+// ---------------------------------------------------------------------
+
+TEST(QueryCacheTest, ScanResistantAdmissionKeepsHotEntries) {
+  Env env = Env::Make(12);
+  Rect h1 = env.Box({{0, 0, 1}});
+  Rect h2 = env.Box({{1, 0, 1}});
+
+  // Measure the two hot entries' resident footprint with a roomy cache.
+  size_t b1 = 0;
+  size_t b2 = 0;
+  {
+    QueryCache probe(*env.index, Enabled());
+    uint64_t ignored = 0;
+    probe.Acquire(h1, ExecBackend::kScalar, nullptr, &ignored);
+    b1 = probe.telemetry().bytes;
+    probe.Acquire(h2, ExecBackend::kScalar, nullptr, &ignored);
+    b2 = probe.telemetry().bytes - b1;
+  }
+  ASSERT_GT(b1, 0u);
+  ASSERT_GT(b2, 0u);
+
+  // A budget that fits exactly the two hot boxes, which a drill-down
+  // session then makes sketch-hot (three requests each).
+  QueryCache cache(*env.index, Enabled(b1 + b2));
+  uint64_t ignored = 0;
+  for (int i = 0; i < 3; ++i) {
+    cache.Acquire(h1, ExecBackend::kScalar, nullptr, &ignored);
+  }
+  for (int i = 0; i < 3; ++i) {
+    cache.Acquire(h2, ExecBackend::kScalar, nullptr, &ignored);
+  }
+  ASSERT_EQ(cache.telemetry().entries, 2u);
+  ASSERT_EQ(cache.telemetry().evictions, 0u);
+
+  // A one-off sweep across the remaining axes. Pure LRU would flush the
+  // drill-down set; the TinyLFU gate compares each probation victim's
+  // sketch frequency (3) against the newcomer's (1) and drops the
+  // newcomer instead.
+  const std::vector<Rect> sweep = {env.Box({{2, 0, 1}}), env.Box({{3, 0, 1}}),
+                                   env.Box({{4, 0, 1}})};
+  for (const Rect& box : sweep) {
+    cache.Acquire(box, ExecBackend::kScalar, nullptr, &ignored);
+  }
+
+  CacheTelemetry t = cache.telemetry();
+  EXPECT_EQ(t.admission_rejects, 3u);
+  EXPECT_EQ(t.evictions, 0u);
+  EXPECT_EQ(t.entries, 2u);
+  EXPECT_EQ(cache.Probe(h1).tier, CacheTier::kExact);
+  EXPECT_EQ(cache.Probe(h2).tier, CacheTier::kExact);
+  for (const Rect& box : sweep) {
+    EXPECT_EQ(cache.Probe(box).tier, CacheTier::kNone);
+  }
 }
 
 TEST(QueryCacheTest, EngineGatesCacheOnOptions) {

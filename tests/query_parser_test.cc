@@ -363,6 +363,42 @@ TEST_F(QueryParserTest, UnknownMeasureThresholdListsTheValidOnes) {
   EXPECT_NE(query.status().message().find("minkulczynski"),
             std::string::npos)
       << query.status().ToString();
+  EXPECT_NE(query.status().message().find("minantsupp"), std::string::npos)
+      << query.status().ToString();
+}
+
+TEST_F(QueryParserTest, AntecedentSupportFloorParsed) {
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6 "
+      "AND minantsupp = 0.4;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_DOUBLE_EQ(query->constraints.min_antecedent_supp, 0.4);
+  EXPECT_TRUE(query->constraints.HasMeasures());
+  EXPECT_TRUE(query->Validate(schema()).ok());
+
+  // Long-form alias and percent form land on the same floor.
+  auto alias = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6 "
+      "AND minantsupport = 40%;");
+  ASSERT_TRUE(alias.ok()) << alias.status().ToString();
+  EXPECT_DOUBLE_EQ(alias->constraints.min_antecedent_supp, 0.4);
+}
+
+TEST_F(QueryParserTest, AntecedentSupportFloorAboveOneRejected) {
+  // A support fraction cannot exceed 1; the parser's validation pass
+  // catches it with the clause's own name in the message.
+  auto query = ParseQuery(
+      schema(),
+      "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = {Seattle} "
+      "HAVING minsupport = 0.5 AND minconfidence = 0.6 "
+      "AND minantsupp = 1.5;");
+  ASSERT_FALSE(query.ok());
+  EXPECT_NE(query.status().message().find("minantsupp"), std::string::npos)
+      << query.status().ToString();
 }
 
 TEST_F(QueryParserTest, MeasureFloorsAloneDontSatisfyRequiredThresholds) {

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -200,8 +201,93 @@ TEST_F(ServerTest, StatsReflectTenantActivity) {
   std::string stats = client.ReadResponse();
   EXPECT_NE(stats.find("tenant bob\n"), std::string::npos) << stats;
   EXPECT_NE(stats.find("mines 1 "), std::string::npos) << stats;
+  // The worker decrements the in-flight counters after the MINE response is
+  // queued, so a pipelined STATS can observe the drain still in progress.
+  for (int i = 0;
+       i < 100 &&
+       stats.find("inflight tenant 0 global 0") == std::string::npos;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    client.Send("STATS\n");
+    stats = client.ReadResponse();
+  }
   EXPECT_NE(stats.find("inflight tenant 0 global 0"), std::string::npos)
       << stats;
+}
+
+TEST_F(ServerTest, StatsReportPerTenantCacheTelemetry) {
+  ServerOptions options;
+  options.service.tenant_cache.enabled = true;
+  auto server = StartServer(options);
+  Client client(server->port());
+  client.Send("HELLO carol\n");
+  client.ReadResponse();
+  // The same query twice: one cold miss, one exact hit.
+  for (int i = 0; i < 2; ++i) {
+    client.Send(std::string("MINE ") + kDrillDown[0] + "\n");
+    ASSERT_EQ(client.ReadResponse().rfind("OK ", 0), 0u);
+  }
+  client.Send("STATS\n");
+  std::string stats = client.ReadResponse();
+  EXPECT_NE(stats.find("cache exact 1 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" misses 1 "), std::string::npos) << stats;
+  // The tier-2.5 and admission counters are part of the wire format even
+  // when zero, so dashboards can rely on the fields being present.
+  EXPECT_NE(stats.find(" compose 0 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" admitrej 0 "), std::string::npos) << stats;
+  EXPECT_EQ(stats.find("cache disabled"), std::string::npos) << stats;
+}
+
+TEST_F(ServerTest, TenantCachePersistsAcrossRestartViaCacheDir) {
+  const std::string cache_dir = ::testing::TempDir();
+  const std::string cache_file = cache_dir + "/dave.ccache";
+  std::remove(cache_file.c_str());
+
+  ServerOptions options;
+  options.service.tenant_cache.enabled = true;
+  options.service.cache_dir = cache_dir;
+
+  std::string first_response;
+  {
+    auto server = StartServer(options);
+    Client client(server->port());
+    client.Send("HELLO dave\n");
+    client.ReadResponse();
+    client.Send(std::string("MINE ") + kDrillDown[0] + "\n");
+    first_response = client.ReadResponse();
+    ASSERT_EQ(first_response.rfind("OK ", 0), 0u);
+    client.Close();
+    server->Shutdown();
+    // The drain persisted the tenant's session cache (v4 file).
+    EXPECT_EQ(server->service().PersistCaches(), 1u);
+  }
+
+  // A restarted server warm-starts the tenant from the cache dir: the
+  // replayed query returns byte-identical rules — only the provenance
+  // annotation may differ ("cache none" cold, "cache exact" warm) — and
+  // is served as an exact hit with zero misses.
+  auto server = StartServer(options);
+  Client client(server->port());
+  client.Send("HELLO dave\n");
+  client.ReadResponse();
+  client.Send(std::string("MINE ") + kDrillDown[0] + "\n");
+  const std::string warm_response = client.ReadResponse();
+  auto rules_of = [](const std::string& response) {
+    // Skip the framing header and the plan/provenance line.
+    size_t pos = response.find('\n');
+    pos = response.find('\n', pos + 1);
+    return response.substr(pos + 1);
+  };
+  EXPECT_EQ(rules_of(warm_response), rules_of(first_response));
+  EXPECT_NE(warm_response.find("cache exact\n"), std::string::npos)
+      << warm_response;
+  EXPECT_NE(first_response.find("cache none\n"), std::string::npos)
+      << first_response;
+  client.Send("STATS\n");
+  std::string stats = client.ReadResponse();
+  EXPECT_NE(stats.find("cache exact 1 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" misses 0 "), std::string::npos) << stats;
+  std::remove(cache_file.c_str());
 }
 
 TEST_F(ServerTest, CommandsBeforeHelloRejectedSessionUsable) {

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <tuple>
 
+#include "core/cache_persist.h"
 #include "core/engine.h"
 #include "test_util.h"
 
@@ -258,6 +260,198 @@ TEST_P(SessionCacheEquivalenceTest, ConstrainedSessionMatchesCold) {
   }
   CacheTelemetry t = (*warm_engine)->cache()->telemetry();
   EXPECT_GT(t.hits_exact, 0u);
+}
+
+// Tier 2.5 end to end: an overlap-shaped session — adjacent slices later
+// recombined (union), a wide region plus a slab later trimmed
+// (difference) — answers byte-identically to a cold cache-less engine,
+// and the optimizer's plan choice is untouched by composition repricing.
+TEST_P(SessionCacheEquivalenceTest, OverlapSessionMatchesCold) {
+  const auto [backend, num_threads] = GetParam();
+  auto data = std::make_unique<Dataset>(RandomDataset(56, 260, 5, 4));
+
+  EngineOptions cold_options;
+  cold_options.index.primary_support = 0.2;
+  cold_options.calibrate = false;
+  cold_options.backend = backend;
+  cold_options.num_threads = 1;
+  auto cold_engine = Engine::Build(*data, cold_options);
+  ASSERT_TRUE(cold_engine.ok());
+
+  EngineOptions warm_options = cold_options;
+  warm_options.num_threads = num_threads;
+  warm_options.cache.enabled = true;
+  auto warm_engine = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(warm_engine.ok());
+
+  auto make = [](std::vector<RangeSelection> ranges, double minsupp) {
+    LocalizedQuery query;
+    query.ranges = std::move(ranges);
+    query.minsupp = minsupp;
+    query.minconf = 0.5;
+    return query;
+  };
+  const std::vector<LocalizedQuery> queries = {
+      make({{0, 0, 1}}, 0.35),          // left slice
+      make({{0, 2, 2}}, 0.4),           // right slice
+      make({{0, 0, 2}}, 0.3),           // their union: tier-2.5 kUnion
+      make({{1, 0, 2}}, 0.3),           // wide region
+      make({{1, 2, 2}}, 0.4),           // slab carved out of it
+      make({{1, 0, 1}}, 0.35),          // wide minus slab: difference or
+                                        // filter, whichever prices lower
+      make({{0, 0, 2}}, 0.45),          // union box again: exact + memo
+  };
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto cold = (*cold_engine)->Execute(queries[i]);
+      auto warm = (*warm_engine)->Execute(queries[i]);
+      ASSERT_TRUE(cold.ok());
+      ASSERT_TRUE(warm.ok());
+      std::string context =
+          "backend=" + std::to_string(static_cast<int>(backend)) +
+          " threads=" + std::to_string(num_threads) + " pass=" +
+          std::to_string(pass) + " overlap query " + std::to_string(i);
+      ExpectSameRules(cold->rules, warm->rules, context);
+      ExpectSameEffort(cold->stats, warm->stats, context);
+      EXPECT_EQ(cold->plan_used, warm->plan_used) << context;
+      EXPECT_EQ(cold->decision.chosen, warm->decision.chosen) << context;
+    }
+  }
+  // The union query genuinely composed (the slices tile its box and the
+  // dataset has records outside it, so the gate prices the combine under
+  // the cold scan).
+  CacheTelemetry t = (*warm_engine)->cache()->telemetry();
+  EXPECT_GT(t.hits_compose, 0u);
+}
+
+// Persisted warm start end to end: populate a cache, save it (format v4),
+// load it into a *fresh* engine, and replay — every answer byte-identical
+// to a cold cache-less engine, with the restored residency serving exact
+// hits from the first query on.
+TEST_P(SessionCacheEquivalenceTest, PersistedWarmMatchesCold) {
+  const auto [backend, num_threads] = GetParam();
+  auto data = std::make_unique<Dataset>(RandomDataset(57, 240, 5, 4));
+  const std::string path = ::testing::TempDir() + "/session_warm_" +
+                           std::to_string(static_cast<int>(backend)) + "_" +
+                           std::to_string(num_threads) + ".ccache";
+
+  EngineOptions cold_options;
+  cold_options.index.primary_support = 0.2;
+  cold_options.calibrate = false;
+  cold_options.backend = backend;
+  cold_options.num_threads = 1;
+  auto cold_engine = Engine::Build(*data, cold_options);
+  ASSERT_TRUE(cold_engine.ok());
+
+  EngineOptions warm_options = cold_options;
+  warm_options.num_threads = num_threads;
+  warm_options.cache.enabled = true;
+  auto queries = SessionQueries();
+  {
+    auto first_session = Engine::Build(*data, warm_options);
+    ASSERT_TRUE(first_session.ok());
+    for (const LocalizedQuery& query : queries) {
+      ASSERT_TRUE((*first_session)->Execute(query).ok());
+    }
+    ASSERT_TRUE(SaveQueryCache(*(*first_session)->cache(),
+                               (*first_session)->index(), path)
+                    .ok());
+  }
+
+  auto restarted = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(restarted.ok());
+  Status loaded = LoadQueryCache((*restarted)->index(), path,
+                                 (*restarted)->cache());
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto cold = (*cold_engine)->Execute(queries[i]);
+    auto warm = (*restarted)->Execute(queries[i]);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(warm.ok());
+    std::string context =
+        "backend=" + std::to_string(static_cast<int>(backend)) +
+        " threads=" + std::to_string(num_threads) + " restarted query " +
+        std::to_string(i);
+    ExpectSameRules(cold->rules, warm->rules, context);
+    ExpectSameEffort(cold->stats, warm->stats, context);
+    EXPECT_EQ(cold->plan_used, warm->plan_used) << context;
+    EXPECT_EQ(cold->decision.chosen, warm->decision.chosen) << context;
+  }
+  // The restored residency served the replay warm, not cold.
+  CacheTelemetry t = (*restarted)->cache()->telemetry();
+  EXPECT_GT(t.hits_exact, 0u);
+  EXPECT_GT(t.hits_count_memo, 0u);
+  std::remove(path.c_str());
+}
+
+// ARM mining memo: a repeated ARM-plan execution replays its qualified
+// set from the tier-3 memo instead of re-running CHARM/FP-growth — with
+// byte-identical rules and effort counters — both in-session and across a
+// v4 save/load restart.
+TEST_P(SessionCacheEquivalenceTest, ArmMineMemoReplayMatchesCold) {
+  const auto [backend, num_threads] = GetParam();
+  auto data = std::make_unique<Dataset>(RandomDataset(58, 240, 5, 4));
+  const std::string path = ::testing::TempDir() + "/arm_memo_" +
+                           std::to_string(static_cast<int>(backend)) + "_" +
+                           std::to_string(num_threads) + ".ccache";
+
+  EngineOptions cold_options;
+  cold_options.index.primary_support = 0.2;
+  cold_options.calibrate = false;
+  cold_options.backend = backend;
+  cold_options.num_threads = 1;
+  auto cold_engine = Engine::Build(*data, cold_options);
+  ASSERT_TRUE(cold_engine.ok());
+
+  EngineOptions warm_options = cold_options;
+  warm_options.num_threads = num_threads;
+  warm_options.cache.enabled = true;
+  auto warm_engine = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(warm_engine.ok());
+
+  LocalizedQuery query;
+  query.ranges = {{0, 0, 2}};
+  query.minsupp = 0.35;
+  query.minconf = 0.6;
+
+  auto cold = (*cold_engine)->ExecuteWithPlan(query, PlanKind::kARM);
+  ASSERT_TRUE(cold.ok());
+  auto first = (*warm_engine)->ExecuteWithPlan(query, PlanKind::kARM);
+  ASSERT_TRUE(first.ok());
+  const uint64_t memo_before =
+      (*warm_engine)->cache()->telemetry().hits_count_memo;
+  auto replay = (*warm_engine)->ExecuteWithPlan(query, PlanKind::kARM);
+  ASSERT_TRUE(replay.ok());
+  std::string context =
+      "backend=" + std::to_string(static_cast<int>(backend)) +
+      " threads=" + std::to_string(num_threads);
+  // The second run served the mining result from the memo...
+  EXPECT_GT((*warm_engine)->cache()->telemetry().hits_count_memo,
+            memo_before)
+      << context;
+  // ...and stayed byte-identical to cold execution.
+  ExpectSameRules(cold->rules, replay->rules, context);
+  ExpectSameEffort(cold->stats, replay->stats, context);
+
+  // The ARM memo survives persistence: a restarted engine replays the
+  // mining result on its *first* execution of the query.
+  ASSERT_TRUE(SaveQueryCache(*(*warm_engine)->cache(),
+                             (*warm_engine)->index(), path)
+                  .ok());
+  auto restarted = Engine::Build(*data, warm_options);
+  ASSERT_TRUE(restarted.ok());
+  ASSERT_TRUE(
+      LoadQueryCache((*restarted)->index(), path, (*restarted)->cache())
+          .ok());
+  auto warm_restart = (*restarted)->ExecuteWithPlan(query, PlanKind::kARM);
+  ASSERT_TRUE(warm_restart.ok());
+  EXPECT_GT((*restarted)->cache()->telemetry().hits_count_memo, 0u)
+      << context;
+  ExpectSameRules(cold->rules, warm_restart->rules, context);
+  ExpectSameEffort(cold->stats, warm_restart->stats, context);
+  std::remove(path.c_str());
 }
 
 // Count-memo isolation: memo entries are namespaced by the constraint

@@ -21,12 +21,14 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
           --target batch_test session_cache_equivalence_test constraint_test
+                   query_cache_test cache_persist_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "TSan build failed")
 endif()
 
-foreach(test batch_test session_cache_equivalence_test constraint_test)
+foreach(test batch_test session_cache_equivalence_test constraint_test
+             query_cache_test cache_persist_test)
   execute_process(
     COMMAND ${BUILD_DIR}/tests/${test}
     RESULT_VARIABLE run_result)

@@ -24,6 +24,7 @@
 //                      (default 2,8; "1" alone disables the sweep)
 //   --no-serialize     skip the serialize round-trip invariant
 //   --no-session-cache skip the session-cache replay invariant
+//   --no-cache-persistence  skip the cache save->load->replay invariant
 //   --no-simd          skip the SIMD kernel-level equivalence invariant
 //   --no-constraints   generate only unconstrained queries and skip the
 //                      constraint-equivalence invariant
@@ -60,8 +61,8 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds N] [--seed-base S] [--smoke] "
                "[--minutes M]\n"
                "          [--threads A,B,...] [--no-serialize] "
-               "[--no-session-cache] [--no-simd] [--no-constraints] "
-               "[--no-shrink] [--inject-off-by-one]\n",
+               "[--no-session-cache] [--no-cache-persistence] [--no-simd] "
+               "[--no-constraints] [--no-shrink] [--inject-off-by-one]\n",
                argv0);
   return 2;
 }
@@ -98,6 +99,8 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       flags->check.check_serialize = false;
     } else if (arg == "--no-session-cache") {
       flags->check.check_session_cache = false;
+    } else if (arg == "--no-cache-persistence") {
+      flags->check.check_cache_persistence = false;
     } else if (arg == "--no-simd") {
       flags->check.check_simd = false;
     } else if (arg == "--no-constraints") {

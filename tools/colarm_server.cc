@@ -21,6 +21,9 @@
 //   --io-threads N      event-loop threads (0 = min(hardware, 4))
 //   --cache-mb N        per-tenant session-cache budget in MiB
 //                       (default 16; 0 disables tenant caches)
+//   --cache-dir PATH    warm-start directory: tenant caches load from
+//                       PATH/<tenant>.ccache at HELLO and persist back
+//                       at drain (missing/corrupt files start cold)
 //   --max-inflight N    global admitted-request bound (default 64)
 //   --tenant-inflight N per-tenant admitted-request bound (default 16)
 //   --deadline-ms F     per-request deadline (default 0 = none)
@@ -57,7 +60,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--host ADDR] [--csv FILE] [--bins N]\n"
                "          [--primary F] [--threads N] [--io-threads N]\n"
-               "          [--cache-mb N] [--max-inflight N]\n"
+               "          [--cache-mb N] [--cache-dir PATH] [--max-inflight N]\n"
                "          [--tenant-inflight N] [--deadline-ms F]\n"
                "          [--no-calibrate]\n",
                argv0);
@@ -121,6 +124,10 @@ Result<ToolOptions> ParseArgs(int argc, char** argv) {
       auto v = need_uint("--cache-mb");
       if (!v.ok()) return v.status();
       options.cache_mb = *v;
+    } else if (arg == "--cache-dir") {
+      auto v = need_value("--cache-dir");
+      if (!v.ok()) return v.status();
+      options.server.service.cache_dir = *v;
     } else if (arg == "--max-inflight") {
       auto v = need_uint("--max-inflight");
       if (!v.ok()) return v.status();
@@ -215,6 +222,13 @@ int ServerMain(int argc, char** argv) {
   sigwait(&signals, &sig);
   std::fprintf(stderr, "signal %d: draining\n", sig);
   server.Shutdown();
+  // After the event loops stop, the tenant caches are quiescent — persist
+  // them so the next process starts warm.
+  if (!options.server.service.cache_dir.empty()) {
+    const size_t saved = server.service().PersistCaches();
+    std::fprintf(stderr, "persisted %zu tenant cache(s) to %s\n", saved,
+                 options.server.service.cache_dir.c_str());
+  }
   std::fprintf(stderr, "drained, bye\n");
   return 0;
 }
